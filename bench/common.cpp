@@ -1,0 +1,51 @@
+#include "common.hpp"
+
+#include <cstring>
+
+namespace ced::bench {
+
+bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> circuits_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--circuits=", 11) == 0) {
+      std::vector<std::string> out;
+      std::string cur;
+      for (const char* c = arg + 11; ; ++c) {
+        if (*c == ',' || *c == '\0') {
+          if (!cur.empty()) out.push_back(cur);
+          cur.clear();
+          if (*c == '\0') break;
+        } else {
+          cur.push_back(*c);
+        }
+      }
+      return out;
+    }
+  }
+  if (quick_mode(argc, argv)) return benchdata::small_suite_names();
+  std::vector<std::string> all;
+  for (const auto& e : benchdata::mcnc_suite()) all.push_back(e.name);
+  return all;
+}
+
+std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
+                                                const std::vector<int>& ps,
+                                                core::PipelineOptions opts) {
+  std::fprintf(stderr, "[bench] %s ...\n", name.c_str());
+  const fsm::Fsm f = benchdata::suite_fsm(name);
+  return core::run_latency_sweep(f, ps, opts);
+}
+
+double reduction_pct(double from, double to) {
+  if (from == 0.0) return 0.0;
+  return 100.0 * (from - to) / from;
+}
+
+}  // namespace ced::bench

@@ -1,0 +1,34 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses: suite selection via argv,
+// aligned table printing, and cached per-circuit pipeline sweeps.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchdata/suite.hpp"
+#include "core/pipeline.hpp"
+
+namespace ced::bench {
+
+/// Parses harness arguments:
+///   --quick            run only the small circuits (fast smoke mode)
+///   --circuits=a,b,c   explicit circuit list
+/// Default: the full 16-circuit Table 1 suite.
+std::vector<std::string> circuits_from_args(int argc, char** argv);
+
+/// True when --quick was passed.
+bool quick_mode(int argc, char** argv);
+
+/// Runs the shared-extraction latency sweep for one circuit with the given
+/// latencies, printing progress to stderr.
+std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
+                                                const std::vector<int>& ps,
+                                                core::PipelineOptions opts =
+                                                    {});
+
+/// Percent change helper: 100 * (from - to) / from (positive = reduction).
+double reduction_pct(double from, double to);
+
+}  // namespace ced::bench

@@ -1,0 +1,127 @@
+// The paper's §2 assumption made visible: bounded-latency CED relies on
+// the fault persisting for at least p clock cycles after causing an error.
+// Permanent and wear-out intermittent faults qualify; single-event upsets
+// (SEUs) do not. This example enumerates every activation scenario
+// (fault, reachable state, input) of a p=2 protected design and replays it
+// twice — once with the fault lasting a single cycle, once persisting —
+// showing that exactly the step-2-reliant error patterns escape the
+// single-cycle case.
+
+#include <cstdio>
+#include <vector>
+
+#include "benchdata/suite.hpp"
+#include "core/extract.hpp"
+#include "core/parity.hpp"
+#include "core/pipeline.hpp"
+#include "core/rng.hpp"
+#include "sim/fault_sim.hpp"
+
+using namespace ced;
+
+namespace {
+
+struct Outcome {
+  std::size_t scenarios = 0;
+  std::size_t caught_at_activation = 0;
+  std::size_t caught_later = 0;
+  std::size_t escaped = 0;
+};
+
+/// Replays one activation (fault at state `c` under input `a`) with the
+/// fault active for `duration` cycles; follows every input for up to
+/// `bound` further steps (exhaustive tree, the bound is small).
+bool detected_within(const fsm::FsmCircuit& circuit,
+                     const core::CedHardware& hw, const logic::Injection& inj,
+                     std::uint64_t state, int steps_left, int age,
+                     int duration) {
+  if (steps_left == 0) return false;
+  const std::uint64_t inputs = std::uint64_t{1} << circuit.r();
+  for (std::uint64_t a = 0; a < inputs; ++a) {
+    const bool active = age < duration;
+    const std::uint64_t obs = circuit.eval(a, state, active ? &inj : nullptr);
+    if (hw.error_asserted(a, state, obs)) continue;  // this path is caught
+    // Not detected on this input: must be caught deeper (within bound).
+    if (!detected_within(circuit, hw, inj, circuit.next_state_of(obs),
+                         steps_left - 1, age + 1, duration)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Outcome measure(const fsm::FsmCircuit& circuit, const core::CedHardware& hw,
+                const std::vector<sim::StuckAtFault>& faults, int bound,
+                int duration) {
+  Outcome out;
+  const auto reachable = sim::reachable_codes(circuit, circuit.enc.reset_code);
+  const std::uint64_t inputs = std::uint64_t{1} << circuit.r();
+  for (const auto& f : faults) {
+    const logic::Injection inj = f.injection();
+    for (std::uint64_t c : reachable) {
+      for (std::uint64_t a = 0; a < inputs; ++a) {
+        const std::uint64_t obs_f = circuit.eval(a, c, &inj);
+        if (obs_f == circuit.eval(a, c)) continue;  // no activation here
+        ++out.scenarios;
+        if (hw.error_asserted(a, c, obs_f)) {
+          ++out.caught_at_activation;
+          continue;
+        }
+        if (detected_within(circuit, hw, inj, circuit.next_state_of(obs_f),
+                            bound - 1, 1, duration)) {
+          ++out.caught_later;
+        } else {
+          ++out.escaped;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "dk16";
+  const int p = 2;
+  const fsm::Fsm machine = benchdata::suite_fsm(name);
+
+  // Sweep p=1,2 so the p=2 solution actually exploits the latency.
+  core::PipelineOptions opts;
+  const std::vector<int> ps{1, 2};
+  const auto reps = core::run_latency_sweep(machine, ps, opts);
+  const core::PipelineReport& rep = reps[1];
+  const fsm::FsmCircuit circuit =
+      fsm::synthesize_fsm(machine, opts.encoding, opts.synth);
+  const auto faults = sim::enumerate_stuck_at(circuit.netlist, opts.faults);
+  const core::CedHardware hw =
+      core::synthesize_ced(circuit, rep.parities, opts.ced);
+
+  core::ExtractOptions e1;
+  e1.latency = 1;
+  const auto t1 = core::extract_cases(circuit, faults, e1);
+  const auto deferred = core::uncovered_cases(rep.parities, t1);
+  std::printf("%s at latency bound p=%d: q=%d trees (latency-1 needs %d); "
+              "%zu/%zu step-1 patterns deferred to step 2\n",
+              name, p, rep.num_trees, reps[0].num_trees, deferred.size(),
+              t1.cases.size());
+
+  std::printf("\n%-22s | %9s | %9s | %9s | %9s\n", "fault duration",
+              "scenarios", "at once", "later", "ESCAPED");
+  for (int duration : {1, p, 1000}) {
+    const Outcome o = measure(circuit, hw, faults, p, duration);
+    std::printf("%-22s | %9zu | %9zu | %9zu | %9zu\n",
+                duration == 1000 ? "persistent"
+                : duration == 1  ? "1 cycle (SEU-like)"
+                                 : "p cycles",
+                o.scenarios, o.caught_at_activation, o.caught_later,
+                o.escaped);
+  }
+  std::printf(
+      "\nReading: persistent (and >= p-cycle) faults are always caught —\n"
+      "the §2 guarantee. Single-cycle upsets escape exactly when their\n"
+      "error pattern was deferred to step-2 detection, which is why the\n"
+      "paper excludes SEUs unless p = 1 or a memory-based checker\n"
+      "(convolutional codes) is used.\n");
+  return 0;
+}

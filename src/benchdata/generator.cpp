@@ -1,0 +1,105 @@
+#include "benchdata/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "kiss/kiss.hpp"
+
+namespace ced::benchdata {
+namespace {
+
+using core::Rng;
+
+/// Splits the full input space into `leaves` disjoint cubes via a random
+/// binary decision tree.
+void split(std::string cube, std::vector<int> free_vars, int leaves,
+           Rng& rng, std::vector<std::string>& out) {
+  if (leaves <= 1 || free_vars.empty()) {
+    out.push_back(std::move(cube));
+    return;
+  }
+  const std::size_t pick = rng.next() % free_vars.size();
+  const int var = free_vars[pick];
+  free_vars.erase(free_vars.begin() + static_cast<std::ptrdiff_t>(pick));
+
+  const int left = leaves / 2;
+  const int right = leaves - left;
+  std::string c0 = cube;
+  std::string c1 = cube;
+  c0[static_cast<std::size_t>(var)] = '0';
+  c1[static_cast<std::size_t>(var)] = '1';
+  split(std::move(c0), free_vars, left, rng, out);
+  split(std::move(c1), std::move(free_vars), right, rng, out);
+}
+
+}  // namespace
+
+std::string generate_kiss(const SyntheticSpec& spec) {
+  if (spec.inputs < 1 || spec.inputs > 16) {
+    throw std::invalid_argument("generate_kiss: inputs out of range");
+  }
+  if (spec.states < 2 || spec.outputs < 1) {
+    throw std::invalid_argument("generate_kiss: bad state/output count");
+  }
+  Rng rng(spec.seed ^ 0xbe9cbda7aULL);
+
+  const int max_branches = spec.inputs >= 30 ? 1 << 30 : (1 << spec.inputs);
+  const int branches = std::clamp(spec.branches, 1, max_branches);
+
+  std::ostringstream out;
+  out << ".i " << spec.inputs << "\n.o " << spec.outputs << "\n.r s0\n";
+
+  for (int st = 0; st < spec.states; ++st) {
+    std::vector<std::string> cubes;
+    std::vector<int> vars(static_cast<std::size_t>(spec.inputs));
+    for (int v = 0; v < spec.inputs; ++v) vars[static_cast<std::size_t>(v)] = v;
+    split(std::string(static_cast<std::size_t>(spec.inputs), '-'), vars,
+          branches, rng, cubes);
+
+    // Target locality: this state's candidate successor pool.
+    std::vector<int> pool;
+    pool.push_back((st + 1) % spec.states);  // ring keeps s0-reachability
+    if (spec.targets_per_state > 0) {
+      while (static_cast<int>(pool.size()) < spec.targets_per_state) {
+        pool.push_back(static_cast<int>(
+            rng.next() % static_cast<std::uint64_t>(spec.states)));
+      }
+    }
+
+    for (std::size_t e = 0; e < cubes.size(); ++e) {
+      int target;
+      if (e == 0) {
+        // Forced ring edge keeps every state reachable from s0.
+        target = (st + 1) % spec.states;
+      } else if (rng.uniform() < spec.self_loop_bias) {
+        target = st;
+      } else if (spec.targets_per_state > 0) {
+        target = pool[rng.next() % pool.size()];
+      } else {
+        target = static_cast<int>(rng.next() % static_cast<std::uint64_t>(
+                                                   spec.states));
+      }
+      std::string output;
+      for (int b = 0; b < spec.outputs; ++b) {
+        if (rng.uniform() < spec.output_dc_bias) {
+          output.push_back('-');
+        } else {
+          output.push_back(rng.uniform() < spec.output_one_bias ? '1' : '0');
+        }
+      }
+      out << cubes[e] << " s" << st << " s" << target << ' ' << output
+          << '\n';
+    }
+  }
+  out << ".e\n";
+  return out.str();
+}
+
+fsm::Fsm generate_fsm(const SyntheticSpec& spec) {
+  return fsm::Fsm::from_kiss(kiss::parse(generate_kiss(spec)));
+}
+
+}  // namespace ced::benchdata

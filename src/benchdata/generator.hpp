@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fsm/fsm.hpp"
+
+namespace ced::benchdata {
+
+/// Recipe for one deterministic synthetic state-transition graph.
+///
+/// The generator emulates the structural profile of an MCNC benchmark FSM:
+/// its interface widths, state count, branching factor, and self-loop
+/// density (the property §5 of the paper ties to early latency saturation).
+/// Input conditions per state are the leaves of a random binary decision
+/// tree over the primary inputs, so every machine is deterministic and
+/// completely specified by construction.
+struct SyntheticSpec {
+  std::string name;
+  int inputs = 2;
+  int states = 8;
+  int outputs = 2;
+  /// Target number of outgoing edges per state (clamped to 2^inputs).
+  int branches = 4;
+  /// Probability that an edge is a self-loop.
+  double self_loop_bias = 0.2;
+  /// Probability that an output bit of an edge is '-' (unspecified).
+  double output_dc_bias = 0.1;
+  /// Probability that a specified output bit is '1'. Real controller
+  /// outputs are sparse (mostly 0 with a few asserted signals); dense
+  /// random outputs would synthesize into unrealistically large logic.
+  double output_one_bias = 0.5;
+  /// Number of distinct non-self next states each state may use
+  /// (0 = unlimited). Real STGs have strong target locality, which keeps
+  /// the next-state functions small.
+  int targets_per_state = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the FSM for a recipe. Deterministic in the spec (including seed).
+/// Every state is reachable from state 0 (a ring edge is forced), and the
+/// machine is deterministic and complete.
+fsm::Fsm generate_fsm(const SyntheticSpec& spec);
+
+/// KISS2 text of the generated machine (round-trips through the parser).
+std::string generate_kiss(const SyntheticSpec& spec);
+
+}  // namespace ced::benchdata

@@ -1,0 +1,157 @@
+#include "benchdata/handwritten.hpp"
+
+#include <stdexcept>
+
+namespace ced::benchdata {
+namespace {
+
+// A Mealy serial "0101" sequence detector: input bit stream, output pulses
+// on every completed 0101.
+const char* kSeqDetect = R"(.i 1
+.o 1
+.r S0
+0 S0 S1 0
+1 S0 S0 0
+0 S1 S1 0
+1 S1 S2 0
+0 S2 S3 0
+1 S2 S0 0
+0 S3 S1 0
+1 S3 S2 1
+.e
+)";
+
+// Traffic-light controller: inputs {car_waiting, timer_expired}; outputs
+// one-hot {green, yellow, red} for the main road.
+const char* kTraffic = R"(.i 2
+.o 3
+.r GREEN
+0- GREEN GREEN 100
+10 GREEN GREEN 100
+11 GREEN YELLOW 100
+-0 YELLOW YELLOW 010
+-1 YELLOW RED 010
+-0 RED RED 001
+-1 RED GREEN 001
+.e
+)";
+
+// Vending machine: accepts nickels (01) / dimes (10), vends at 15 cents,
+// returns change when over. Inputs: {dime, nickel}; outputs {vend, change}.
+const char* kVending = R"(.i 2
+.o 2
+.r C0
+00 C0 C0 00
+01 C0 C5 00
+10 C0 C10 00
+11 C0 C0 00
+00 C5 C5 00
+01 C5 C10 00
+10 C5 C0 10
+11 C5 C5 00
+00 C10 C10 00
+01 C10 C0 10
+10 C10 C0 11
+11 C10 C10 00
+.e
+)";
+
+// Round-robin 2-client bus arbiter with requests r0 r1; grants g0 g1.
+// Priority rotates after each grant.
+const char* kArbiter = R"(.i 2
+.o 2
+.r A0
+00 A0 A0 00
+10 A0 G0A 10
+01 A0 G1B 01
+11 A0 G0A 10
+00 A1 A1 00
+10 A1 G0B 10
+01 A1 G1A 01
+11 A1 G1A 01
+00 G0A A1 00
+10 G0A G0A 10
+01 G0A G1B 01
+11 G0A G1B 01
+00 G1A A0 00
+01 G1A G1A 01
+10 G1A G0B 10
+11 G1A G0B 10
+00 G0B A1 00
+10 G0B G0A 10
+01 G0B G1B 01
+11 G0B G1B 01
+00 G1B A0 00
+01 G1B G1A 01
+10 G1B G0B 10
+11 G1B G0B 10
+.e
+)";
+
+// Modulo-5 up/down counter with enable: inputs {en, dir}; outputs the
+// count in 3-bit binary.
+const char* kModulo5 = R"(.i 2
+.o 3
+.r N0
+0- N0 N0 000
+10 N0 N1 000
+11 N0 N4 000
+0- N1 N1 001
+10 N1 N2 001
+11 N1 N0 001
+0- N2 N2 010
+10 N2 N3 010
+11 N2 N1 010
+0- N3 N3 011
+10 N3 N4 011
+11 N3 N2 011
+0- N4 N4 100
+10 N4 N0 100
+11 N4 N3 100
+.e
+)";
+
+// Simple link-layer receiver: hunts for a sync pattern (11), then counts a
+// 2-bit payload, checks even parity, and reports ok/err. Inputs {bit};
+// outputs {ok, err, busy}.
+const char* kLinkRx = R"(.i 1
+.o 3
+.r HUNT
+0 HUNT HUNT 000
+1 HUNT SYN1 000
+0 SYN1 HUNT 000
+1 SYN1 PAY0 001
+0 PAY0 PAY1E 001
+1 PAY0 PAY1O 001
+0 PAY1E CHKE 001
+1 PAY1E CHKO 001
+0 PAY1O CHKO 001
+1 PAY1O CHKE 001
+0 CHKE HUNT 100
+1 CHKE HUNT 010
+0 CHKO HUNT 010
+1 CHKO HUNT 100
+.e
+)";
+
+const std::vector<NamedKiss>& table() {
+  static const std::vector<NamedKiss> t = {
+      {"seq_detect", kSeqDetect}, {"traffic", kTraffic},
+      {"vending", kVending},      {"arbiter", kArbiter},
+      {"modulo5", kModulo5},      {"link_rx", kLinkRx},
+  };
+  return t;
+}
+
+}  // namespace
+
+const std::vector<NamedKiss>& handwritten_fsms() { return table(); }
+
+const std::string& handwritten_kiss(const std::string& name) {
+  for (const auto& e : table()) {
+    if (e.name == name) return e.kiss;
+  }
+  throw std::invalid_argument("unknown hand-written FSM: " + name);
+}
+
+}  // namespace ced::benchdata

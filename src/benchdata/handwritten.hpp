@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ced::benchdata {
+
+/// A named KISS2 source.
+struct NamedKiss {
+  std::string name;
+  std::string kiss;
+};
+
+/// Genuine hand-written FSMs (KISS2 text) used by examples and tests:
+/// small real controllers whose behaviour is easy to reason about.
+const std::vector<NamedKiss>& handwritten_fsms();
+
+/// Looks up one hand-written FSM by name; throws if unknown.
+const std::string& handwritten_kiss(const std::string& name);
+
+}  // namespace ced::benchdata

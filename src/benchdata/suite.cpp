@@ -1,0 +1,66 @@
+#include "benchdata/suite.hpp"
+
+#include <stdexcept>
+
+namespace ced::benchdata {
+namespace {
+
+SyntheticSpec spec(const char* name, int in, int states, int out,
+                   int branches, double self_loop, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = name;
+  s.inputs = in;
+  s.states = states;
+  s.outputs = out;
+  s.branches = branches;
+  s.self_loop_bias = self_loop;
+  s.output_dc_bias = 0.12;
+  // Controller-style sparse outputs and localized successor sets keep the
+  // synthesized two-level logic in the size regime of the SIS-mapped
+  // originals (dense random STGs would be several times larger).
+  s.output_one_bias = 0.22;
+  s.targets_per_state = 4;
+  s.seed = seed;
+  return s;
+}
+
+const std::vector<SuiteEntry>& build() {
+  // Interface widths / state counts follow the published LGSynth'91 FSM
+  // benchmark profiles for the circuits named in Table 1.
+  static const std::vector<SuiteEntry> suite = {
+      {"cse", spec("cse", 7, 16, 7, 6, 0.25, 101)},
+      {"donfile", spec("donfile", 2, 24, 1, 4, 0.50, 102)},
+      {"dk14", spec("dk14", 3, 7, 5, 8, 0.15, 103)},
+      {"dk16", spec("dk16", 2, 27, 3, 4, 0.45, 104)},
+      {"ex1", spec("ex1", 9, 20, 19, 5, 0.20, 105)},
+      {"keyb", spec("keyb", 7, 19, 2, 6, 0.25, 106)},
+      {"pma", spec("pma", 8, 24, 8, 6, 0.08, 107)},
+      {"sse", spec("sse", 7, 16, 7, 6, 0.25, 108)},
+      {"styr", spec("styr", 9, 30, 10, 5, 0.15, 109)},
+      {"s27", spec("s27", 4, 6, 1, 6, 0.50, 110)},
+      {"s298", spec("s298", 3, 135, 6, 5, 0.06, 111)},
+      {"s386", spec("s386", 7, 13, 7, 6, 0.45, 112)},
+      {"s1488", spec("s1488", 8, 48, 19, 5, 0.08, 113)},
+      {"tav", spec("tav", 4, 4, 4, 8, 0.20, 114)},
+      {"tbk", spec("tbk", 6, 32, 3, 8, 0.15, 115)},
+      {"tma", spec("tma", 7, 20, 6, 6, 0.20, 116)},
+  };
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& mcnc_suite() { return build(); }
+
+fsm::Fsm suite_fsm(const std::string& name) {
+  for (const auto& e : build()) {
+    if (e.name == name) return generate_fsm(e.spec);
+  }
+  throw std::invalid_argument("unknown suite circuit: " + name);
+}
+
+std::vector<std::string> small_suite_names() {
+  return {"s27", "tav", "dk14", "donfile", "dk16", "s386"};
+}
+
+}  // namespace ced::benchdata

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchdata/generator.hpp"
+#include "fsm/fsm.hpp"
+
+namespace ced::benchdata {
+
+/// One entry of the experimental suite: the paper's Table 1 circuits.
+struct SuiteEntry {
+  std::string name;
+  SyntheticSpec spec;  ///< profile-matched synthetic stand-in (see DESIGN.md)
+};
+
+/// Structural profiles of the 16 MCNC/LGSynth'91 FSMs of Table 1
+/// (interface widths and state counts from the published benchmark set;
+/// branching and self-loop knobs set per §5's structural observations:
+/// small machines — donfile, s27, s386 — are self-loop heavy, large ones —
+/// pma, s298, s1488 — are not).
+const std::vector<SuiteEntry>& mcnc_suite();
+
+/// Builds the FSM for one suite entry by name; throws if unknown.
+fsm::Fsm suite_fsm(const std::string& name);
+
+/// Subset of suite names small enough for quick tests.
+std::vector<std::string> small_suite_names();
+
+}  // namespace ced::benchdata

@@ -1,0 +1,313 @@
+#include "core/algorithm1.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace ced::core {
+namespace {
+
+/// Number of detecting (bit, step) entries of a case: rows with few entries
+/// constrain the LP the most and are sampled first.
+int hardness(const ErroneousCase& ec) {
+  int total = 0;
+  for (int k = 0; k < ec.length; ++k) {
+    total += std::popcount(ec.diff[static_cast<std::size_t>(k)]);
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> hardest_rows(const DetectabilityTable& table,
+                                        std::size_t limit) {
+  std::vector<std::uint32_t> idx(table.cases.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<std::uint32_t>(i);
+  }
+  std::stable_sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return hardness(table.cases[a]) < hardness(table.cases[b]);
+  });
+  if (idx.size() > limit) idx.resize(limit);
+  return idx;
+}
+
+/// One randomized rounding per eq. (1), with a mild late-iteration blend
+/// toward 1/2 on fractional bits to escape repeatedly failing extreme
+/// points.
+std::vector<ParityFunc> round_once(const std::vector<std::vector<double>>& x,
+                                   double blend, Rng& rng) {
+  std::vector<ParityFunc> betas;
+  for (const auto& tree : x) {
+    ParityFunc b = 0;
+    for (std::size_t j = 0; j < tree.size(); ++j) {
+      double prob = tree[j];
+      if (prob > 1e-9 && prob < 1.0 - 1e-9) {
+        prob = (1.0 - blend) * prob + blend * 0.5;
+      }
+      if (rng.flip(prob)) b |= std::uint64_t{1} << j;
+    }
+    if (b != 0) betas.push_back(b);
+  }
+  return betas;
+}
+
+/// Hill-climb repair over a row subset: flips bits of the candidate trees
+/// to reduce the number of uncovered rows (exact GF(2) evaluation, but only
+/// on `rows` — callers re-verify against the full table).
+bool repair_on(std::vector<ParityFunc>& betas, const DetectabilityTable& table,
+               std::span<const std::uint32_t> rows, int n) {
+  auto uncovered = uncovered_among(betas, table, rows);
+  bool improved = true;
+  while (!uncovered.empty() && improved) {
+    improved = false;
+    for (std::size_t t = 0; t < betas.size() && !uncovered.empty(); ++t) {
+      for (int j = 0; j < n; ++j) {
+        const ParityFunc saved = betas[t];
+        betas[t] ^= std::uint64_t{1} << j;
+        auto trial = uncovered_among(betas, table, rows);
+        if (trial.size() < uncovered.size()) {
+          uncovered = std::move(trial);
+          improved = true;
+        } else {
+          betas[t] = saved;
+        }
+      }
+    }
+  }
+  return uncovered.empty();
+}
+
+}  // namespace
+
+std::optional<std::vector<ParityFunc>> solve_for_q(
+    const DetectabilityTable& table, int q, const Algorithm1Options& opts,
+    Algorithm1Stats* stats) {
+  if (table.cases.empty()) return std::vector<ParityFunc>{};
+  if (q <= 0) return std::nullopt;
+
+  Rng rng(opts.seed ^ (static_cast<std::uint64_t>(q) << 32));
+  std::vector<std::uint32_t> rows =
+      hardest_rows(table, static_cast<std::size_t>(opts.lp_sample_rows));
+  std::vector<bool> in_lp(table.cases.size(), false);
+  for (auto rid : rows) in_lp[rid] = true;
+
+  // Verification sample: the LP rows plus a spread over the whole table.
+  // Roundings are screened against it; only screen-passing candidates pay
+  // for the exact full-table Statement-4 check.
+  std::vector<std::uint32_t> check_rows = rows;
+  if (table.cases.size() > opts.verify_sample_cap) {
+    const std::size_t stride = table.cases.size() / opts.verify_sample_cap;
+    for (std::size_t i = 0; i < table.cases.size(); i += stride) {
+      check_rows.push_back(static_cast<std::uint32_t>(i));
+    }
+  } else {
+    for (std::size_t i = 0; i < table.cases.size(); ++i) {
+      check_rows.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // Full exact check with sample refinement: a candidate that covers the
+  // sample but misses full-table rows teaches the sample those rows.
+  auto full_check = [&](std::vector<ParityFunc>& betas) -> bool {
+    const auto missed = uncovered_cases(betas, table);
+    if (missed.empty()) return true;
+    for (std::size_t i = 0; i < missed.size() && i < 64; ++i) {
+      check_rows.push_back(missed[i]);
+    }
+    return false;
+  };
+
+  std::vector<ParityFunc> best_attempt;
+  std::size_t best_uncovered = table.cases.size() + 1;
+
+  for (int round = 0; round < opts.row_rounds; ++round) {
+    LpFormulation f = opts.use_statement5
+                          ? build_lp_statement5(table, rows, q)
+                          : build_lp(table, rows, q);
+    const lp::LpResult res = lp::solve(f.problem, opts.lp);
+    if (stats) ++stats->lp_solves;
+    if (res.status == lp::Status::kInfeasible) return std::nullopt;
+    if (res.status != lp::Status::kOptimal) break;  // solver budget hit
+    const auto x = beta_values(f, res);
+
+    for (int it = 0; it < opts.iter; ++it) {
+      const double blend =
+          opts.iter <= 1 ? 0.0
+                         : 0.5 * std::max(0.0, (2.0 * it - opts.iter) /
+                                                   static_cast<double>(opts.iter));
+      std::vector<ParityFunc> betas = round_once(x, blend, rng);
+      if (stats) ++stats->roundings;
+      const auto uncov = uncovered_among(betas, table, check_rows);
+      if (uncov.empty() && full_check(betas)) {
+        return prune_redundant(betas, table);
+      }
+      if (uncov.size() < best_uncovered &&
+          betas.size() <= static_cast<std::size_t>(q)) {
+        best_uncovered = uncov.size();
+        best_attempt = betas;
+      }
+    }
+
+    // Row generation: add the hardest still-violated sample rows of the
+    // best attempt and re-solve.
+    if (best_attempt.empty()) break;
+    auto uncov = uncovered_among(best_attempt, table, check_rows);
+    std::stable_sort(uncov.begin(), uncov.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return hardness(table.cases[a]) <
+                              hardness(table.cases[b]);
+                     });
+    bool added = false;
+    for (std::uint32_t rid : uncov) {
+      if (in_lp[rid]) continue;
+      in_lp[rid] = true;
+      rows.push_back(rid);
+      added = true;
+      if (rows.size() >=
+          static_cast<std::size_t>(opts.lp_sample_rows) *
+              static_cast<std::size_t>(round + 2)) {
+        break;
+      }
+    }
+    if (!added && round > 0) break;  // LP already sees every hard row
+  }
+
+  if (opts.repair && !best_attempt.empty()) {
+    // Pad with empty trees up to q so repair has full freedom.
+    while (best_attempt.size() < static_cast<std::size_t>(q)) {
+      best_attempt.push_back(0);
+    }
+    for (auto& b : best_attempt) {
+      if (b == 0) b = 1;  // give the climber a starting bit
+    }
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (stats) ++stats->repairs;
+      if (!repair_on(best_attempt, table, check_rows, table.num_bits)) break;
+      if (full_check(best_attempt)) {
+        return prune_redundant(best_attempt, table);
+      }
+      // full_check extended check_rows with missed cases; repair again.
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Spread verification sample used by the post-optimization pass.
+std::vector<std::uint32_t> verification_sample(const DetectabilityTable& table,
+                                               std::size_t cap) {
+  std::vector<std::uint32_t> rows;
+  if (table.cases.size() > cap) {
+    const std::size_t stride = table.cases.size() / cap;
+    for (std::size_t i = 0; i < table.cases.size(); i += stride) {
+      rows.push_back(static_cast<std::uint32_t>(i));
+    }
+  } else {
+    for (std::size_t i = 0; i < table.cases.size(); ++i) {
+      rows.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return rows;
+}
+
+/// Tries to shrink `best` by dropping one tree and hill-climb repairing the
+/// remainder (sample-screened, full-table verified). Loops until no single
+/// drop can be repaired.
+void drop_and_repair(std::vector<ParityFunc>& best,
+                     const DetectabilityTable& table,
+                     const Algorithm1Options& opts, Algorithm1Stats* stats) {
+  std::vector<std::uint32_t> check_rows =
+      verification_sample(table, opts.verify_sample_cap);
+  bool improved = true;
+  while (improved && best.size() > 1) {
+    improved = false;
+    for (std::size_t drop = 0; drop < best.size(); ++drop) {
+      std::vector<ParityFunc> cand;
+      cand.reserve(best.size() - 1);
+      for (std::size_t i = 0; i < best.size(); ++i) {
+        if (i != drop) cand.push_back(best[i]);
+      }
+      bool covered = false;
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        if (stats) ++stats->repairs;
+        if (!repair_on(cand, table, check_rows, table.num_bits)) break;
+        const auto missed = uncovered_cases(cand, table);
+        if (missed.empty()) {
+          covered = true;
+          break;
+        }
+        for (std::size_t i = 0; i < missed.size() && i < 64; ++i) {
+          check_rows.push_back(missed[i]);
+        }
+      }
+      if (covered) {
+        best = prune_redundant(cand, table);
+        improved = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ParityFunc> minimize_parity_functions(
+    const DetectabilityTable& table, const Algorithm1Options& opts,
+    Algorithm1Stats* stats, std::span<const ParityFunc> warm_start) {
+  if (table.cases.empty()) {
+    if (stats) stats->final_q = 0;
+    return {};
+  }
+
+  // Greedy upper bound doubles as the fallback solution.
+  const std::vector<ParityFunc> greedy = greedy_cover(table, opts.greedy);
+  std::vector<ParityFunc> best = greedy;
+  bool from_greedy = true;
+  if (!warm_start.empty() && warm_start.size() <= best.size() &&
+      covers_all(warm_start, table)) {
+    best.assign(warm_start.begin(), warm_start.end());
+    best = prune_redundant(best, table);
+    from_greedy = false;
+  }
+
+  int left = 1;
+  int right = static_cast<int>(best.size());
+  while (left < right) {
+    const int q = left + (right - left) / 2;
+    if (stats) stats->qs_tried.push_back(q);
+    auto sol = solve_for_q(table, q, opts, stats);
+    if (sol && sol->size() < best.size()) {
+      best = std::move(*sol);
+      from_greedy = false;
+      right = static_cast<int>(best.size());
+    } else if (sol) {
+      // Found a cover but not smaller than current best; still shrink the
+      // search window.
+      right = q;
+      from_greedy = false;
+    } else {
+      left = q + 1;
+    }
+  }
+
+  if (opts.post_optimize) {
+    const std::size_t before = best.size();
+    drop_and_repair(best, table, opts, stats);
+    if (best.size() < before) from_greedy = false;
+    // The incumbent may be a warm start the local search cannot shrink;
+    // give the independent greedy solution the same chance when it ties.
+    if (!from_greedy && greedy.size() <= best.size()) {
+      std::vector<ParityFunc> alt = greedy;
+      drop_and_repair(alt, table, opts, stats);
+      if (alt.size() < best.size()) best = std::move(alt);
+    }
+  }
+
+  if (stats) {
+    stats->final_q = static_cast<int>(best.size());
+    stats->greedy_fallback = from_greedy;
+  }
+  return best;
+}
+
+}  // namespace ced::core

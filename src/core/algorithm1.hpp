@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/extract.hpp"
+#include "core/greedy.hpp"
+#include "core/ilp.hpp"
+#include "core/parity.hpp"
+
+namespace ced::core {
+
+/// Options for Algorithm 1 (LP relaxation + randomized rounding inside a
+/// binary search on the number of parity trees q).
+struct Algorithm1Options {
+  /// ITER of the paper: rounding attempts per LP solution.
+  int iter = 40;
+  /// Delayed row generation: number of table rows in the initial LP (the
+  /// hardest rows — fewest detecting bits — are chosen first). The full
+  /// table is always used for the exact Statement-4 feasibility check.
+  int lp_sample_rows = 48;
+  /// Rounds of adding violated rows and re-solving.
+  int row_rounds = 4;
+  /// Roundings are screened against a sample of at most this many rows;
+  /// a full exact Statement-4 check runs only on screen-passing candidates
+  /// (and teaches the sample any rows it missed).
+  std::size_t verify_sample_cap = 20'000;
+  /// Hill-climb repair of the best near-miss rounding before giving up on
+  /// one q (practical extension; disable for a paper-faithful solver).
+  bool repair = true;
+  /// After the binary search: repeatedly try dropping one tree from the
+  /// incumbent and repairing the loss (practical extension that enforces
+  /// solution quality independent of rounding luck; disable for a
+  /// paper-faithful solver).
+  bool post_optimize = true;
+  /// Use the literal Statement-5 formulation (with w variables) instead of
+  /// the reduced one. Slower; primarily for equivalence testing.
+  bool use_statement5 = false;
+  std::uint64_t seed = 0xced;
+  lp::SolverOptions lp;
+  GreedyOptions greedy;
+};
+
+struct Algorithm1Stats {
+  int lp_solves = 0;
+  int roundings = 0;
+  int repairs = 0;
+  int final_q = 0;
+  /// True when the binary search never beat the greedy upper bound and the
+  /// greedy solution was returned.
+  bool greedy_fallback = false;
+  std::vector<int> qs_tried;
+};
+
+/// Tries to find q parity functions covering every case of the table:
+/// LP relaxation (with delayed row generation), randomized rounding per
+/// eq. (1), exact Statement-4 verification against the full table.
+std::optional<std::vector<ParityFunc>> solve_for_q(
+    const DetectabilityTable& table, int q, const Algorithm1Options& opts = {},
+    Algorithm1Stats* stats = nullptr);
+
+/// Algorithm 1: binary search on q (upper bound seeded by the greedy
+/// solver, which also serves as the fallback solution). Returns a complete
+/// cover; size is minimal up to rounding luck.
+///
+/// `warm_start` optionally seeds the incumbent: if it covers the table and
+/// is smaller than the greedy solution it becomes the starting upper bound
+/// (used by latency sweeps, where a p-cover always covers p+1's table).
+std::vector<ParityFunc> minimize_parity_functions(
+    const DetectabilityTable& table, const Algorithm1Options& opts = {},
+    Algorithm1Stats* stats = nullptr,
+    std::span<const ParityFunc> warm_start = {});
+
+}  // namespace ced::core

@@ -1,0 +1,69 @@
+#include "core/area_aware.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace ced::core {
+namespace {
+
+double cost_of(const fsm::FsmCircuit& circuit,
+               const std::vector<ParityFunc>& parities,
+               const AreaAwareOptions& opts) {
+  const CedHardware hw = synthesize_ced(circuit, parities, opts.ced);
+  return hw.cost(opts.library).area;
+}
+
+}  // namespace
+
+AreaAwareResult minimize_parity_area(const fsm::FsmCircuit& circuit,
+                                     const DetectabilityTable& table,
+                                     const AreaAwareOptions& opts) {
+  AreaAwareResult res;
+  res.parities = minimize_parity_functions(table, opts.algo);
+  res.initial_area = cost_of(circuit, res.parities, opts);
+  res.evaluations = 1;
+  double current = res.initial_area;
+
+  Rng rng(opts.seed);
+  const int n = table.num_bits;
+
+  for (int pass = 0; pass < opts.passes; ++pass) {
+    bool improved = false;
+    for (std::size_t t = 0; t < res.parities.size(); ++t) {
+      // Visit bits in a random order so successive passes explore
+      // different move sequences.
+      std::vector<int> order(static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) order[static_cast<std::size_t>(j)] = j;
+      for (std::size_t j = order.size(); j > 1; --j) {
+        std::swap(order[j - 1], order[rng.next() % j]);
+      }
+
+      for (int j : order) {
+        if (res.evaluations >= opts.max_evaluations) {
+          res.final_area = current;
+          return res;
+        }
+        const ParityFunc saved = res.parities[t];
+        res.parities[t] ^= std::uint64_t{1} << j;
+        if (res.parities[t] == 0 || !covers_all(res.parities, table)) {
+          res.parities[t] = saved;
+          continue;
+        }
+        const double cand = cost_of(circuit, res.parities, opts);
+        ++res.evaluations;
+        if (cand < current - 1e-9) {
+          current = cand;
+          improved = true;
+        } else {
+          res.parities[t] = saved;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  res.final_area = current;
+  return res;
+}
+
+}  // namespace ced::core

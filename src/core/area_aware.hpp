@@ -1,0 +1,42 @@
+#pragma once
+
+#include "core/algorithm1.hpp"
+#include "core/parity_synth.hpp"
+
+namespace ced::core {
+
+/// Options for area-aware parity selection.
+struct AreaAwareOptions {
+  /// Count-minimization used to obtain the starting cover.
+  Algorithm1Options algo;
+  /// Synthesis settings used when scoring a candidate (the score is the
+  /// real post-synthesis CED area, not an estimate).
+  CedSynthOptions ced;
+  logic::CellLibrary library = logic::CellLibrary::mcnc();
+  /// Local-search sweeps over (tree, bit) flip moves.
+  int passes = 2;
+  /// Hard budget on full cost evaluations (each one synthesizes the
+  /// compaction trees, prediction logic and comparator).
+  int max_evaluations = 120;
+  std::uint64_t seed = 0xa3ea;
+};
+
+struct AreaAwareResult {
+  std::vector<ParityFunc> parities;
+  double initial_area = 0.0;  ///< cost of the count-minimal cover
+  double final_area = 0.0;    ///< cost after area-driven local search
+  int evaluations = 0;        ///< full synthesis evaluations spent
+};
+
+/// §5 of the paper observes that minimizing the *number* of parity
+/// functions does not always minimize hardware (the dk16 anomaly) and that
+/// the literature lacks area-driven selection. This implements that missing
+/// step: starting from the count-minimal cover of Algorithm 1, a local
+/// search over single-bit tree edits accepts only moves that (a) keep the
+/// cover complete (exact Statement-4 check) and (b) reduce the *synthesized*
+/// CED area. The tree count never increases.
+AreaAwareResult minimize_parity_area(const fsm::FsmCircuit& circuit,
+                                     const DetectabilityTable& table,
+                                     const AreaAwareOptions& opts = {});
+
+}  // namespace ced::core

@@ -1,0 +1,83 @@
+#include "core/convolutional.hpp"
+
+#include <stdexcept>
+
+#include "core/algorithm1.hpp"
+
+namespace ced::core {
+
+logic::AreaReport ConvolutionalCed::cost(const logic::CellLibrary& lib) const {
+  logic::AreaReport r = combo.cost(lib);
+  // combo.cost charged 2q hold registers (the Fig. 3 structure). The
+  // convolutional scheme instead needs K accumulator banks of q flip-flops
+  // each (full-rank tap matrix; see header) with an XOR2 feedback per bit,
+  // plus the mod-K sampling counter.
+  const std::size_t q = keys.size();
+  const std::size_t acc_bits = static_cast<std::size_t>(window) * q;
+  r.area -= lib.dff * static_cast<double>(2 * q);   // replace hold regs
+  r.area += lib.dff * static_cast<double>(acc_bits);
+  r.gates += acc_bits;  // accumulator feedback XORs
+  r.area += static_cast<double>(acc_bits) * lib.xor2;
+  int counter_bits = 0;
+  for (int w = window - 1; w > 0; w >>= 1) ++counter_bits;
+  r.area += lib.dff * static_cast<double>(counter_bits) +
+            2.0 * static_cast<double>(counter_bits);  // counter + increment
+  return r;
+}
+
+ConvolutionalCed synthesize_convolutional(const fsm::FsmCircuit& circuit,
+                                          const DetectabilityTable& p1_table,
+                                          int window,
+                                          const ConvolutionalOptions& opts) {
+  if (p1_table.latency != 1) {
+    throw std::invalid_argument(
+        "synthesize_convolutional: needs a latency-1 table");
+  }
+  if (window < 1) {
+    throw std::invalid_argument("synthesize_convolutional: bad window");
+  }
+  ConvolutionalCed ced;
+  ced.window = window;
+  ced.keys = minimize_parity_functions(p1_table, opts.algo);
+  ced.combo = synthesize_ced(circuit, ced.keys, opts.ced);
+  ced.registers =
+      static_cast<std::size_t>(window) * ced.keys.size();
+  return ced;
+}
+
+bool ConvolutionalChecker::step(std::uint64_t input, std::uint64_t state_code,
+                                std::uint64_t observable) {
+  const std::uint64_t assignment = input | (state_code << ced_.combo.r) |
+                                   (observable << (ced_.combo.r + ced_.combo.s));
+  const std::uint64_t outs = ced_.combo.checker.eval_single(assignment);
+  const int q = ced_.combo.q;
+  const int k = ced_.window;
+  for (int l = 0; l < q; ++l) {
+    const bool mismatch =
+        (((outs >> l) ^ (outs >> (q + l))) & 1) != 0;  // compact != pred
+    if (!mismatch) continue;
+    // Lower-triangular tap matrix: bank b accumulates the mismatches of
+    // phases 0..b. The matrix is invertible, so any nonzero mismatch
+    // pattern within a window leaves a nonzero syndrome in some bank.
+    for (int b = phase_; b < k; ++b) {
+      const std::size_t idx =
+          static_cast<std::size_t>(b) * static_cast<std::size_t>(q) +
+          static_cast<std::size_t>(l);
+      acc_[idx] = !acc_[idx];
+    }
+  }
+  ++phase_;
+  if (phase_ < k) return false;
+  bool error = false;
+  for (bool bit : acc_) error = error || bit;
+  reset();
+  return error;
+}
+
+void ConvolutionalChecker::reset() {
+  acc_.assign(static_cast<std::size_t>(ced_.window) * ced_.keys.size(),
+              false);
+  phase_ = 0;
+}
+
+}  // namespace ced::core

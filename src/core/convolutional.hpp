@@ -1,0 +1,71 @@
+#pragma once
+
+#include "core/algorithm1.hpp"
+#include "core/parity_synth.hpp"
+
+namespace ced::core {
+
+/// A concurrent checker in the style of Holmquist & Kinney's
+/// convolutional-code method (the paper's refs [4]/[14]): per-cycle key
+/// bits are generated from the FSM's next-state/output bits, predicted
+/// from (input, state), and their mismatch stream is folded into XOR
+/// accumulators that are sampled (and cleared) once every `window` cycles.
+/// Detection latency is bounded by the window length; the cost of the
+/// extra sequential state is what the DATE'04 paper contrasts its
+/// stateless bounded-latency scheme against ("for convolutional codes of
+/// latency more than one clock cycle, the method becomes cumbersome").
+///
+/// Key-bit masks are chosen as a latency-1 parity cover, so every
+/// erroneous transition flips at least one mismatch bit the moment it
+/// happens. Cancellation inside a window is ruled out by K accumulator
+/// banks per stream whose tap matrix (bank b taps phases 0..b) is
+/// invertible over GF(2): any nonzero mismatch pattern leaves a nonzero
+/// syndrome. The price is K·q accumulator flip-flops — the cost growth
+/// with latency that makes the method "cumbersome" beyond one cycle.
+struct ConvolutionalCed {
+  std::vector<ParityFunc> keys;  ///< key-generator masks (latency-1 cover)
+  int window = 1;                ///< K: syndrome sampling period
+  /// Combinational part: key XOR trees + prediction logic + per-stream
+  /// mismatch bits (reuses the Fig. 3 checker structure).
+  CedHardware combo;
+  /// Sequential state: K banks of q accumulator flip-flops
+  /// plus a mod-K sampling counter.
+  std::size_t registers = 0;
+
+  logic::AreaReport cost(const logic::CellLibrary& lib) const;
+};
+
+struct ConvolutionalOptions {
+  CedSynthOptions ced;
+  Algorithm1Options algo;  ///< used to find the latency-1 key cover
+};
+
+/// Builds the convolutional checker with detection-latency bound `window`.
+/// `p1_table` must be a latency-1 detectability table of `circuit`.
+ConvolutionalCed synthesize_convolutional(const fsm::FsmCircuit& circuit,
+                                          const DetectabilityTable& p1_table,
+                                          int window,
+                                          const ConvolutionalOptions& opts = {});
+
+/// Cycle-accurate functional model of the checker (for verification and
+/// the comparison bench).
+class ConvolutionalChecker {
+ public:
+  explicit ConvolutionalChecker(const ConvolutionalCed& ced) : ced_(ced) {
+    reset();
+  }
+
+  /// Advances one transition; returns true iff the error signal is
+  /// asserted this cycle (only at sampling points).
+  bool step(std::uint64_t input, std::uint64_t state_code,
+            std::uint64_t observable);
+
+  void reset();
+
+ private:
+  const ConvolutionalCed& ced_;
+  std::vector<bool> acc_;  ///< window * q accumulator bits
+  int phase_ = 0;
+};
+
+}  // namespace ced::core

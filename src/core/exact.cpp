@@ -1,0 +1,156 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+
+#include "logic/bitvec.hpp"
+
+namespace ced::core {
+namespace {
+
+/// Branch-and-bound minimum cover over precomputed candidate coverage sets.
+class Bnb {
+ public:
+  Bnb(const std::vector<logic::BitVec>& cover_sets, std::size_t num_cases,
+      std::size_t max_nodes)
+      : cover_sets_(cover_sets), num_cases_(num_cases),
+        max_nodes_(max_nodes) {}
+
+  std::optional<std::vector<std::size_t>> solve(std::size_t upper_bound) {
+    best_size_ = upper_bound + 1;
+    logic::BitVec covered(num_cases_);
+    std::vector<std::size_t> chosen;
+    aborted_ = false;
+    recurse(covered, chosen);
+    // Optimality can only be certified when the search ran to completion.
+    if (aborted_ || best_.empty()) return std::nullopt;
+    return best_;
+  }
+
+ private:
+  void recurse(logic::BitVec& covered, std::vector<std::size_t>& chosen) {
+    if (aborted_) return;
+    if (++nodes_ > max_nodes_) {
+      aborted_ = true;
+      return;
+    }
+    // First uncovered case.
+    std::size_t row = num_cases_;
+    for (std::size_t i = 0; i < num_cases_; ++i) {
+      if (!covered.test(i)) {
+        row = i;
+        break;
+      }
+    }
+    if (row == num_cases_) {
+      if (chosen.size() < best_size_) {
+        best_size_ = chosen.size();
+        best_ = chosen;
+      }
+      return;
+    }
+    if (chosen.size() + 1 >= best_size_) return;
+
+    // Branch on every candidate covering that case.
+    for (std::size_t c = 0; c < cover_sets_.size(); ++c) {
+      if (!cover_sets_[c].test(row)) continue;
+      logic::BitVec saved = covered;
+      covered |= cover_sets_[c];
+      chosen.push_back(c);
+      recurse(covered, chosen);
+      chosen.pop_back();
+      covered = std::move(saved);
+      if (aborted_) return;
+    }
+  }
+
+  const std::vector<logic::BitVec>& cover_sets_;
+  std::size_t num_cases_;
+  std::size_t max_nodes_;
+  std::size_t nodes_ = 0;
+  std::size_t best_size_ = 0;
+  std::vector<std::size_t> best_;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<std::vector<ParityFunc>> exact_min_cover(
+    const DetectabilityTable& table, const ExactOptions& opts) {
+  const int n = table.num_bits;
+  if (n > opts.max_bits) return std::nullopt;
+  const std::size_t m = table.cases.size();
+  if (m == 0) return std::vector<ParityFunc>{};
+
+  // Enumerate all candidate parity functions with their coverage sets.
+  const std::uint64_t num_candidates = (std::uint64_t{1} << n) - 1;
+  std::vector<ParityFunc> candidates;
+  std::vector<logic::BitVec> cover_sets;
+  candidates.reserve(num_candidates);
+  for (std::uint64_t beta = 1; beta <= num_candidates; ++beta) {
+    logic::BitVec cov(m);
+    bool any = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (covers(beta, table.cases[i])) {
+        cov.set(i);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    candidates.push_back(beta);
+    cover_sets.push_back(std::move(cov));
+  }
+
+  // Dominance pruning: drop candidates whose coverage is a subset of
+  // another candidate's (keep the first of equals).
+  std::vector<bool> dominated(candidates.size(), false);
+  for (std::size_t a = 0; a < candidates.size(); ++a) {
+    if (dominated[a]) continue;
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+      if (a == b || dominated[b]) continue;
+      if (!cover_sets[b].is_subset_of(cover_sets[a])) continue;
+      // Equal sets: keep the lower-index candidate only.
+      if (cover_sets[a] == cover_sets[b] && a > b) continue;
+      dominated[b] = true;
+    }
+  }
+  std::vector<ParityFunc> cand2;
+  std::vector<logic::BitVec> cov2;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!dominated[i]) {
+      cand2.push_back(candidates[i]);
+      cov2.push_back(std::move(cover_sets[i]));
+    }
+  }
+
+  // Upper bound: simple greedy over the candidate sets.
+  std::vector<std::size_t> greedy_sel;
+  {
+    logic::BitVec covered(m);
+    while (covered.count() < m) {
+      std::size_t best = cov2.size();
+      std::size_t best_gain = 0;
+      for (std::size_t c = 0; c < cov2.size(); ++c) {
+        logic::BitVec gain = cov2[c];
+        gain.subtract(covered);
+        const std::size_t g = gain.count();
+        if (g > best_gain) {
+          best_gain = g;
+          best = c;
+        }
+      }
+      if (best == cov2.size()) return std::nullopt;  // uncoverable case
+      covered |= cov2[best];
+      greedy_sel.push_back(best);
+    }
+  }
+
+  Bnb bnb(cov2, m, opts.max_nodes);
+  const auto sel = bnb.solve(greedy_sel.size());
+  if (!sel) return std::nullopt;
+  std::vector<ParityFunc> out;
+  out.reserve(sel->size());
+  for (std::size_t c : *sel) out.push_back(cand2[c]);
+  return out;
+}
+
+}  // namespace ced::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/parity.hpp"
+
+namespace ced::core {
+
+struct ExactOptions {
+  /// Refuse instances with more observable bits than this (the candidate
+  /// space is 2^n - 1 parity functions and dominance pruning is quadratic
+  /// in it).
+  int max_bits = 14;
+  /// Branch-and-bound node budget; nullopt result when exhausted.
+  std::size_t max_nodes = 50'000'000;
+};
+
+/// Exact minimum number of parity functions (optimal Statement-1 solution)
+/// by exhaustive candidate enumeration + dominance pruning + branch and
+/// bound set cover. Intended for small instances: validates the LP
+/// rounding and greedy solvers in tests and in the solver-quality bench.
+///
+/// Returns nullopt when the instance exceeds the option limits.
+std::optional<std::vector<ParityFunc>> exact_min_cover(
+    const DetectabilityTable& table, const ExactOptions& opts = {});
+
+}  // namespace ced::core

@@ -1,0 +1,316 @@
+#include "core/extract.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ced::core {
+namespace {
+
+using CaseSet = std::unordered_set<ErroneousCase, ErroneousCaseHash>;
+
+/// One state of the enumerated walk: the fault-free (reference) machine's
+/// state and the faulty machine's state. Under kImplementable semantics the
+/// reference is re-anchored to the faulty register every step, so good ==
+/// bad throughout.
+struct Pair {
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  bool operator==(const Pair&) const = default;
+};
+
+/// Distinct single-step behaviours from one pair under one fault: inputs
+/// are grouped into classes by (difference word, successor pair).
+struct StepClass {
+  std::uint64_t diff = 0;
+  Pair next;
+
+  bool operator<(const StepClass& o) const {
+    if (diff != o.diff) return diff < o.diff;
+    if (next.good != o.next.good) return next.good < o.next.good;
+    return next.bad < o.next.bad;
+  }
+  bool operator==(const StepClass&) const = default;
+};
+
+std::vector<StepClass> step_classes(const std::vector<std::uint64_t>& golden,
+                                    const std::vector<std::uint64_t>& faulty,
+                                    const fsm::FsmCircuit& c,
+                                    DiffSemantics semantics) {
+  std::vector<StepClass> classes;
+  classes.reserve(16);
+  for (std::size_t a = 0; a < golden.size(); ++a) {
+    StepClass cls;
+    cls.diff = golden[a] ^ faulty[a];
+    cls.next.bad = c.next_state_of(faulty[a]);
+    cls.next.good = semantics == DiffSemantics::kMachineLevel
+                        ? c.next_state_of(golden[a])
+                        : cls.next.bad;  // re-anchor to the real register
+    classes.push_back(cls);
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+/// Canonical form of a path's difference sequence: the sorted set of its
+/// distinct nonzero step words. Coverage (exists step with odd overlap)
+/// only depends on this set.
+ErroneousCase canonicalize(const std::uint64_t* diffs, int len) {
+  ErroneousCase ec;
+  std::array<std::uint64_t, kMaxLatency> tmp{};
+  int n = 0;
+  for (int k = 0; k < len; ++k) {
+    if (diffs[k] != 0) tmp[static_cast<std::size_t>(n++)] = diffs[k];
+  }
+  // Insertion sort: n <= kMaxLatency (tiny), and it avoids std::sort's
+  // large inlined thresholds that trip -Warray-bounds on small arrays.
+  for (int i = 1; i < n; ++i) {
+    const std::uint64_t v = tmp[static_cast<std::size_t>(i)];
+    int j = i;
+    while (j > 0 && tmp[static_cast<std::size_t>(j - 1)] > v) {
+      tmp[static_cast<std::size_t>(j)] = tmp[static_cast<std::size_t>(j - 1)];
+      --j;
+    }
+    tmp[static_cast<std::size_t>(j)] = v;
+  }
+  int m = 0;
+  for (int k = 0; k < n; ++k) {
+    if (k == 0 || tmp[static_cast<std::size_t>(k)] !=
+                      tmp[static_cast<std::size_t>(k - 1)]) {
+      ec.diff[static_cast<std::size_t>(m++)] = tmp[static_cast<std::size_t>(k)];
+    }
+  }
+  ec.length = static_cast<std::uint8_t>(m);
+  return ec;
+}
+
+class Extractor {
+ public:
+  Extractor(const fsm::FsmCircuit& circuit, const ExtractOptions& opts,
+            std::vector<DetectabilityTable>& tables)
+      : circuit_(circuit), opts_(opts), tables_(tables), golden_(circuit),
+        sets_(static_cast<std::size_t>(opts.latency)),
+        compact_threshold_(static_cast<std::size_t>(opts.latency),
+                           kCompactStart),
+        max_words_(static_cast<std::size_t>(opts.latency), kMaxLatency) {}
+
+  void run(std::span<const sim::StuckAtFault> faults) {
+    std::vector<std::uint64_t> activation_codes;
+    if (opts_.restrict_to_reachable) {
+      activation_codes =
+          sim::reachable_codes(circuit_, circuit_.enc.reset_code);
+    } else {
+      for (std::uint64_t c = 0; c <= circuit_.state_mask(); ++c) {
+        activation_codes.push_back(c);
+      }
+    }
+
+    for (auto& t : tables_) t.num_faults = faults.size();
+    for (const auto& f : faults) {
+      sim::FaultyCache faulty(circuit_, f);
+      bool detectable = false;
+      for (std::uint64_t c : activation_codes) {
+        const auto classes = step_classes(golden_.rows(c), faulty.rows(c),
+                                          circuit_, opts_.semantics);
+        for (const auto& cls : classes) {
+          if (cls.diff == 0) continue;  // fault dormant: not an activation
+          detectable = true;
+          for (auto& t : tables_) ++t.num_activations;
+          diffs_[0] = cls.diff;
+          record(1);
+          // The path's states are those reached by erroneous transitions
+          // ("starting from the first erroneous state", §2): h1, h2, ...
+          // The activation state c is not part of the loop-detection set.
+          path_states_[0] = cls.next;
+          descend(faulty, cls.next, 1);
+        }
+      }
+      if (detectable) {
+        for (auto& t : tables_) ++t.num_detectable_faults;
+      }
+    }
+
+    for (int p = 1; p <= opts_.latency; ++p) {
+      auto& t = tables_[static_cast<std::size_t>(p - 1)];
+      auto& set = sets_[static_cast<std::size_t>(p - 1)];
+      compact(set);  // drop supersets that arrived before their subsets
+      t.cases.assign(set.begin(), set.end());
+      std::sort(t.cases.begin(), t.cases.end(),
+                [](const ErroneousCase& a, const ErroneousCase& b) {
+                  if (a.length != b.length) return a.length < b.length;
+                  return a.diff < b.diff;
+                });
+    }
+  }
+
+ private:
+  /// Extends the current path from `pair` at step index `depth`
+  /// (diffs_[0..depth-1] and path_states_[0..depth-1] are filled).
+  void descend(sim::FaultyCache& faulty, const Pair& pair, int depth) {
+    if (depth == opts_.latency) return;
+    const auto classes = step_classes(golden_.rows(pair.good),
+                                      faulty.rows(pair.bad), circuit_,
+                                      opts_.semantics);
+    for (const auto& cls : classes) {
+      diffs_[static_cast<std::size_t>(depth)] = cls.diff;
+      record(depth + 1);
+      bool loop = false;
+      for (int i = 0; i < depth; ++i) {
+        if (path_states_[static_cast<std::size_t>(i)] == cls.next) {
+          loop = true;
+          break;
+        }
+      }
+      if (loop) {
+        // The pair repeats: longer bounds gain no further alternatives
+        // along this path; the truncated case is their requirement too.
+        for (auto& t : tables_) ++t.num_loop_truncations;
+        const ErroneousCase ec = canonicalize(diffs_.data(), depth + 1);
+        for (int p = depth + 2; p <= opts_.latency; ++p) {
+          ++tables_[static_cast<std::size_t>(p - 1)].num_paths;
+          insert(ec, p);
+        }
+      } else if (!extensions_redundant(depth + 1)) {
+        path_states_[static_cast<std::size_t>(depth)] = cls.next;
+        descend(faulty, cls.next, depth + 1);
+      }
+    }
+  }
+
+  /// Subtree prune: extensions of the current prefix (of length `len`)
+  /// would be recorded into tables len+1..p, each as a superset of the
+  /// prefix's word set. If every one of those tables already requires the
+  /// prefix set itself or a subset of it, all extensions are dominated rows
+  /// there and the subtree contributes nothing.
+  bool extensions_redundant(int len) {
+    if (len + 1 > opts_.latency) return false;  // no extensions anyway
+    const ErroneousCase prefix = canonicalize(diffs_.data(), len);
+    for (int t = len + 1; t <= opts_.latency; ++t) {
+      const auto& set = sets_[static_cast<std::size_t>(t - 1)];
+      if (!set.count(prefix) && !dominated(prefix, set)) return false;
+    }
+    return true;
+  }
+
+  /// Records the current path prefix of length `len` as a complete case of
+  /// the latency-`len` table.
+  void record(int len) {
+    ++tables_[static_cast<std::size_t>(len - 1)].num_paths;
+    insert(canonicalize(diffs_.data(), len), len);
+  }
+
+  /// True if some nonempty proper subset of ec's word set is already a
+  /// case: that case implies ec (odd overlap with the subset's word is odd
+  /// overlap with ec's), making ec a redundant row.
+  static bool dominated(const ErroneousCase& ec, const CaseSet& set) {
+    const unsigned full = (1u << ec.length) - 1;
+    for (unsigned mask = 1; mask < full; ++mask) {
+      ErroneousCase sub;
+      int m = 0;
+      for (int k = 0; k < ec.length; ++k) {
+        if ((mask >> k) & 1) {
+          sub.diff[static_cast<std::size_t>(m++)] =
+              ec.diff[static_cast<std::size_t>(k)];
+        }
+      }
+      sub.length = static_cast<std::uint8_t>(m);
+      if (set.count(sub)) return true;
+    }
+    return false;
+  }
+
+  /// Rebuilds a set keeping only subset-minimal cases.
+  static void compact(CaseSet& set) {
+    CaseSet kept;
+    kept.reserve(set.size());
+    for (const auto& ec : set) {
+      if (!dominated(ec, set)) kept.insert(ec);
+    }
+    set = std::move(kept);
+  }
+
+  /// Strengthens a case to its `k` smallest difference words (sound: it
+  /// only removes detection alternatives).
+  static ErroneousCase strengthen(const ErroneousCase& ec, int k) {
+    if (ec.length <= k) return ec;
+    ErroneousCase s;
+    s.length = static_cast<std::uint8_t>(k);
+    for (int i = 0; i < k; ++i) {
+      s.diff[static_cast<std::size_t>(i)] = ec.diff[static_cast<std::size_t>(i)];
+    }
+    return s;
+  }
+
+  void insert(ErroneousCase ec, int latency) {
+    const auto t = static_cast<std::size_t>(latency - 1);
+    auto& set = sets_[t];
+    ec = strengthen(ec, max_words_[t]);
+    if (dominated(ec, set)) return;
+    set.insert(ec);
+    auto& threshold = compact_threshold_[t];
+    if (set.size() > threshold) {
+      compact(set);
+      threshold = std::max<std::size_t>(2 * set.size(), kCompactStart);
+    }
+    while (set.size() > opts_.degrade_threshold && max_words_[t] > 1) {
+      // Degrade: strengthen every case of this table to fewer words and
+      // rebuild the subset-minimal antichain.
+      --max_words_[t];
+      tables_[t].strengthened = true;
+      CaseSet rebuilt;
+      rebuilt.reserve(set.size());
+      for (const auto& c : set) rebuilt.insert(strengthen(c, max_words_[t]));
+      compact(rebuilt);
+      set = std::move(rebuilt);
+      threshold = std::max<std::size_t>(2 * set.size(), kCompactStart);
+    }
+    if (set.size() > opts_.max_cases) {
+      throw std::runtime_error(
+          "extract_cases: erroneous-case limit exceeded; raise "
+          "ExtractOptions::max_cases or lower the latency bound");
+    }
+  }
+
+  static constexpr std::size_t kCompactStart = 1u << 17;
+
+  const fsm::FsmCircuit& circuit_;
+  const ExtractOptions& opts_;
+  std::vector<DetectabilityTable>& tables_;
+  sim::GoldenCache golden_;
+  std::vector<CaseSet> sets_;
+  std::vector<std::size_t> compact_threshold_;
+  std::vector<int> max_words_;
+  std::array<std::uint64_t, kMaxLatency> diffs_{};
+  std::array<Pair, kMaxLatency + 1> path_states_{};
+};
+
+}  // namespace
+
+std::vector<DetectabilityTable> extract_cases_multi(
+    const fsm::FsmCircuit& circuit,
+    std::span<const sim::StuckAtFault> faults, const ExtractOptions& opts) {
+  if (opts.latency < 1 || opts.latency > kMaxLatency) {
+    throw std::invalid_argument("extract_cases: latency out of range");
+  }
+  if (circuit.n() > 64) {
+    throw std::invalid_argument("extract_cases: more than 64 observable bits");
+  }
+  std::vector<DetectabilityTable> tables(
+      static_cast<std::size_t>(opts.latency));
+  for (int p = 1; p <= opts.latency; ++p) {
+    tables[static_cast<std::size_t>(p - 1)].num_bits = circuit.n();
+    tables[static_cast<std::size_t>(p - 1)].latency = p;
+  }
+  Extractor ex(circuit, opts, tables);
+  ex.run(faults);
+  return tables;
+}
+
+DetectabilityTable extract_cases(const fsm::FsmCircuit& circuit,
+                                 std::span<const sim::StuckAtFault> faults,
+                                 const ExtractOptions& opts) {
+  return std::move(extract_cases_multi(circuit, faults, opts).back());
+}
+
+}  // namespace ced::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/erroneous_case.hpp"
+#include "fsm/synthesize.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/faults.hpp"
+
+namespace ced::core {
+
+/// How the per-step difference sets of an erroneous case are defined.
+///
+/// The paper (§3.1) formally defines an EC from the divergence of the
+/// error-free machine GM(A, c) and the faulty machine BM_f(A, c) driven by
+/// the same input sequence from the same start state — `kMachineLevel`.
+/// Those difference sets are what the authors' fault simulator tabulated,
+/// and they grow with latency (the two machines' states drift apart), which
+/// is where the paper's large latency savings come from.
+///
+/// The Fig. 3 architecture, however, predicts from the FSM's *actual*
+/// state register: once the register is corrupted, the checker can only
+/// see the faulty logic differ from the fault-free logic evaluated at the
+/// same (corrupted) state — `kImplementable`. This is the sound semantics:
+/// a cover of the implementable table provably yields bounded-latency
+/// detection in sequential simulation (see core/verify.hpp), at a somewhat
+/// higher parity cost. The bench suite quantifies the gap.
+enum class DiffSemantics {
+  kImplementable,
+  kMachineLevel,
+};
+
+struct ExtractOptions {
+  /// Latency bound p (1 .. kMaxLatency).
+  int latency = 1;
+  DiffSemantics semantics = DiffSemantics::kImplementable;
+  /// Enumerate activations only from state codes reachable from reset in
+  /// the fault-free circuit (matches real operation). When false, every
+  /// s-bit code is an activation candidate.
+  bool restrict_to_reachable = true;
+  /// Above this many (subset-minimal, canonical) cases, a table degrades
+  /// gracefully: cases are strengthened to their k smallest difference
+  /// words, with k stepping down until the table fits. Strengthening only
+  /// removes detection alternatives, so results stay sound (possibly a few
+  /// extra parity trees); the table's `strengthened` flag reports it.
+  std::size_t degrade_threshold = 2'000'000;
+  /// Hard valve (after degradation to single-word cases).
+  std::size_t max_cases = 5'000'000;
+};
+
+/// The error detectability table of Fig. 2: the union of all erroneous
+/// cases in canonical form (sorted distinct nonzero step difference-words;
+/// see extract_cases_multi), plus extraction statistics. Rows the cover
+/// problem cannot distinguish are merged.
+struct DetectabilityTable {
+  int num_bits = 0;  ///< n = state bits + outputs
+  int latency = 0;   ///< p used during extraction
+  /// True if the degrade threshold forced case strengthening (results are
+  /// then conservative: a valid cover, possibly with extra trees).
+  bool strengthened = false;
+  std::vector<ErroneousCase> cases;
+
+  // Statistics.
+  std::size_t num_faults = 0;           ///< faults simulated
+  std::size_t num_detectable_faults = 0;///< faults with >= 1 activation
+  std::size_t num_activations = 0;      ///< (fault, state, input-class) roots
+  std::size_t num_paths = 0;            ///< enumerated paths (pre-dedup)
+  std::size_t num_loop_truncations = 0; ///< paths cut by the loop rule
+
+  /// V(i, j, k) of §4 (0-based i, j, k).
+  bool v(std::size_t i, int j, int k) const {
+    const ErroneousCase& ec = cases[i];
+    if (k >= ec.length) return false;
+    return (ec.diff[static_cast<std::size_t>(k)] >> j) & 1;
+  }
+};
+
+/// Builds the detectability tables for every latency bound 1..opts.latency
+/// in a single fault-simulation + path-enumeration pass (§2, §3.1):
+/// result[p-1] is the table for bound p.
+///
+/// Cases are stored in *canonical form*: the sorted set of distinct nonzero
+/// step difference-words. Coverage of an EC depends only on that set
+/// (a parity tree detects the case iff it has odd overlap with SOME step's
+/// difference), so canonicalization merges rows the cover problem cannot
+/// distinguish — exactness is preserved while path-order blowup collapses.
+std::vector<DetectabilityTable> extract_cases_multi(
+    const fsm::FsmCircuit& circuit,
+    std::span<const sim::StuckAtFault> faults, const ExtractOptions& opts);
+
+/// Single-latency convenience wrapper: the table for bound opts.latency.
+DetectabilityTable extract_cases(const fsm::FsmCircuit& circuit,
+                                 std::span<const sim::StuckAtFault> faults,
+                                 const ExtractOptions& opts = {});
+
+}  // namespace ced::core

@@ -1,0 +1,131 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+
+namespace ced::core {
+namespace {
+
+std::size_t coverage_over(ParityFunc beta, const DetectabilityTable& table,
+                          const std::vector<std::uint32_t>& pending) {
+  std::size_t c = 0;
+  for (std::uint32_t i : pending) {
+    if (covers(beta, table.cases[i])) ++c;
+  }
+  return c;
+}
+
+/// Hill-climbs `beta` over single-bit flips to maximize coverage of the
+/// pending cases. Deterministic given the start point.
+ParityFunc climb(ParityFunc beta, int n, const DetectabilityTable& table,
+                 const std::vector<std::uint32_t>& pending) {
+  std::size_t best = coverage_over(beta, table, pending);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int j = 0; j < n; ++j) {
+      const ParityFunc cand = beta ^ (std::uint64_t{1} << j);
+      if (cand == 0) continue;
+      const std::size_t c = coverage_over(cand, table, pending);
+      if (c > best) {
+        best = c;
+        beta = cand;
+        improved = true;
+      }
+    }
+  }
+  return beta;
+}
+
+}  // namespace
+
+namespace {
+
+/// Covers every case index in `pending` (a subset of the table) by
+/// repeatedly appending the best hill-climbed parity function.
+void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
+                  std::vector<std::uint32_t> pending, Rng& rng,
+                  std::vector<ParityFunc>& solution) {
+  const int n = table.num_bits;
+  const std::uint64_t mask =
+      n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  while (!pending.empty()) {
+    ParityFunc best_beta = 0;
+    std::size_t best_cov = 0;
+
+    auto consider = [&](ParityFunc start) {
+      const ParityFunc b = climb(start & mask, n, table, pending);
+      if (b == 0) return;
+      const std::size_t c = coverage_over(b, table, pending);
+      if (c > best_cov) {
+        best_cov = c;
+        best_beta = b;
+      }
+    };
+
+    for (int j = 0; j < n; ++j) consider(std::uint64_t{1} << j);
+    consider(mask);
+    for (int t = 0; t < opts.restarts; ++t) consider(rng.next() & mask);
+
+    if (best_cov == 0) {
+      // Should be impossible: every case has a nonzero diff word at some
+      // step, and a single-bit function on a set bit of that word covers it.
+      // Guard against surprises to avoid an infinite loop.
+      const ErroneousCase& ec = table.cases[pending.front()];
+      for (int k = 0; k < ec.length; ++k) {
+        if (ec.diff[static_cast<std::size_t>(k)] != 0) {
+          best_beta = ec.diff[static_cast<std::size_t>(k)] &
+                      (~ec.diff[static_cast<std::size_t>(k)] + 1);
+          break;
+        }
+      }
+      best_cov = coverage_over(best_beta, table, pending);
+    }
+
+    solution.push_back(best_beta);
+    std::vector<std::uint32_t> still;
+    still.reserve(pending.size() - best_cov);
+    for (std::uint32_t i : pending) {
+      if (!covers(best_beta, table.cases[i])) still.push_back(i);
+    }
+    pending = std::move(still);
+  }
+}
+
+}  // namespace
+
+std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
+                                     const GreedyOptions& opts) {
+  Rng rng(opts.seed);
+  std::vector<ParityFunc> solution;
+
+  // Work on samples of the uncovered set; re-verify against the full table
+  // between rounds. Each round strictly shrinks the uncovered set, so this
+  // terminates with a complete cover.
+  std::vector<std::uint32_t> pending(table.cases.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    pending[i] = static_cast<std::uint32_t>(i);
+  }
+  while (!pending.empty()) {
+    std::vector<std::uint32_t> sample;
+    if (pending.size() <= opts.sample_cap) {
+      sample = pending;
+    } else {
+      // Deterministic stride-based sample spread over the uncovered set.
+      sample.reserve(opts.sample_cap);
+      const std::size_t stride = pending.size() / opts.sample_cap;
+      const std::size_t offset = rng.next() % stride;
+      for (std::size_t i = offset; i < pending.size() && sample.size() < opts.sample_cap;
+           i += stride) {
+        sample.push_back(pending[i]);
+      }
+    }
+    cover_subset(table, opts, std::move(sample), rng, solution);
+    pending = uncovered_cases(solution, table);
+  }
+
+  return prune_redundant(solution, table);
+}
+
+}  // namespace ced::core

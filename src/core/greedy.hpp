@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parity.hpp"
+
+namespace ced::core {
+
+/// Options for the greedy / local-search baseline solver.
+struct GreedyOptions {
+  /// Random restarts per selected parity function (in addition to the
+  /// deterministic single-bit and all-ones starting points).
+  int restarts = 8;
+  /// Candidate search runs on at most this many still-uncovered cases at a
+  /// time; the final solution is always verified (and extended) against the
+  /// full table, so sampling affects only speed/quality, never coverage.
+  std::size_t sample_cap = 20'000;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Greedy set-cover style baseline: repeatedly picks the parity function
+/// covering the most still-uncovered erroneous cases, where each candidate
+/// is found by hill-climbing over bit flips from several starting points.
+/// Always returns a complete cover (single-bit functions guarantee
+/// progress: diff[0] of every case is nonzero, so some bit of step 1
+/// detects it... more precisely, any bit set in diff[0] gives odd overlap
+/// when chosen alone).
+std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
+                                     const GreedyOptions& opts = {});
+
+}  // namespace ced::core

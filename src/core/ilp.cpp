@@ -1,0 +1,111 @@
+#include "core/ilp.hpp"
+
+#include <stdexcept>
+
+namespace ced::core {
+namespace {
+
+void add_beta_variables(LpFormulation& f) {
+  f.beta_var.resize(static_cast<std::size_t>(f.q) * f.n);
+  for (int l = 0; l < f.q; ++l) {
+    for (int j = 0; j < f.n; ++j) {
+      f.beta_var[static_cast<std::size_t>(l) * f.n + j] =
+          f.problem.add_variable(0.0, 1.0, 1.0);  // objective: sparsity
+    }
+  }
+  f.problem.set_objective_sense(lp::Objective::kMinimize);
+}
+
+}  // namespace
+
+LpFormulation build_lp(const DetectabilityTable& table,
+                       std::span<const std::uint32_t> rows, int q) {
+  LpFormulation f;
+  f.q = q;
+  f.n = table.num_bits;
+  f.p = table.latency;
+  f.rows.assign(rows.begin(), rows.end());
+  add_beta_variables(f);
+
+  // r^{(lk)}_i in [0,1]; only steps k < length(i) exist.
+  for (std::uint32_t row : rows) {
+    const ErroneousCase& ec = table.cases[row];
+    std::vector<std::pair<int, double>> cover_terms;
+    for (int l = 0; l < q; ++l) {
+      for (int k = 0; k < ec.length; ++k) {
+        const int r_var = f.problem.add_variable(0.0, 1.0, 0.0);
+        // r - V(i,:,k) beta^{(l)} <= 0, written as kLe so the simplex can
+        // seed the row's basis with its slack (no artificial needed).
+        std::vector<std::pair<int, double>> terms;
+        for (int j = 0; j < f.n; ++j) {
+          if ((ec.diff[static_cast<std::size_t>(k)] >> j) & 1) {
+            terms.emplace_back(
+                f.beta_var[static_cast<std::size_t>(l) * f.n + j], -1.0);
+          }
+        }
+        terms.emplace_back(r_var, 1.0);
+        f.problem.add_constraint(std::move(terms), lp::Relation::kLe, 0.0);
+        cover_terms.emplace_back(r_var, 1.0);
+      }
+    }
+    // sum_{l,k} r^{(lk)}_i >= 1.
+    f.problem.add_constraint(std::move(cover_terms), lp::Relation::kGe, 1.0);
+  }
+  return f;
+}
+
+LpFormulation build_lp_statement5(const DetectabilityTable& table,
+                                  std::span<const std::uint32_t> rows, int q) {
+  LpFormulation f;
+  f.q = q;
+  f.n = table.num_bits;
+  f.p = table.latency;
+  f.rows.assign(rows.begin(), rows.end());
+  add_beta_variables(f);
+
+  const double w_upper = static_cast<double>(f.n) / 2.0;
+  for (std::uint32_t row : rows) {
+    const ErroneousCase& ec = table.cases[row];
+    std::vector<std::pair<int, double>> cover_terms;
+    for (int l = 0; l < q; ++l) {
+      for (int k = 0; k < ec.length; ++k) {
+        const int r_var = f.problem.add_variable(0.0, 1.0, 0.0);
+        const int w_var = f.problem.add_variable(0.0, w_upper, 0.0);
+        // V(i,:,k) beta^{(l)} = 2 w + r.
+        std::vector<std::pair<int, double>> terms;
+        for (int j = 0; j < f.n; ++j) {
+          if ((ec.diff[static_cast<std::size_t>(k)] >> j) & 1) {
+            terms.emplace_back(
+                f.beta_var[static_cast<std::size_t>(l) * f.n + j], 1.0);
+          }
+        }
+        terms.emplace_back(w_var, -2.0);
+        terms.emplace_back(r_var, -1.0);
+        f.problem.add_constraint(std::move(terms), lp::Relation::kEq, 0.0);
+        cover_terms.emplace_back(r_var, 1.0);
+      }
+    }
+    f.problem.add_constraint(std::move(cover_terms), lp::Relation::kGe, 1.0);
+  }
+  return f;
+}
+
+std::vector<std::vector<double>> beta_values(const LpFormulation& f,
+                                             const lp::LpResult& r) {
+  if (r.status != lp::Status::kOptimal) {
+    throw std::invalid_argument("beta_values: LP was not solved");
+  }
+  std::vector<std::vector<double>> out(
+      static_cast<std::size_t>(f.q),
+      std::vector<double>(static_cast<std::size_t>(f.n), 0.0));
+  for (int l = 0; l < f.q; ++l) {
+    for (int j = 0; j < f.n; ++j) {
+      out[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)] =
+          r.x[static_cast<std::size_t>(
+              f.beta_var[static_cast<std::size_t>(l) * f.n + j])];
+    }
+  }
+  return out;
+}
+
+}  // namespace ced::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/extract.hpp"
+#include "lp/simplex.hpp"
+
+namespace ced::core {
+
+/// An LP relaxation instance of the parity-selection problem for a fixed
+/// number of trees `q` over a subset of the detectability table's rows.
+/// Variable bookkeeping lets the rounding stage find the beta variables.
+struct LpFormulation {
+  lp::LpProblem problem;
+  int q = 0;
+  int n = 0;
+  int p = 0;
+  /// Row indices of the table included in this formulation.
+  std::vector<std::uint32_t> rows;
+  /// beta_var[l * n + j] = LP variable index of beta^{(l)}_j.
+  std::vector<int> beta_var;
+};
+
+/// Builds the LP relaxation of Statement 5 with the auxiliary w variables
+/// eliminated analytically (w = (V beta - r) / 2, whose [0, n/2] bounds
+/// reduce to r <= V beta). This is the production formulation: it has the
+/// same feasible beta/r set as Statement 5 but q*p*m fewer variables.
+///
+/// Objective: minimize sum of beta (prefers sparse parity trees so the
+/// rounded points stay cheap).
+LpFormulation build_lp(const DetectabilityTable& table,
+                       std::span<const std::uint32_t> rows, int q);
+
+/// Builds the *literal* Statement 5 of the paper, including the w
+/// variables and the mod-removing equalities. Used to validate that the
+/// reduced formulation is an exact reformulation.
+LpFormulation build_lp_statement5(const DetectabilityTable& table,
+                                  std::span<const std::uint32_t> rows, int q);
+
+/// Extracts the fractional beta block from an LP solution.
+/// Result[l][j] = value of beta^{(l)}_j in [0,1].
+std::vector<std::vector<double>> beta_values(const LpFormulation& f,
+                                             const lp::LpResult& r);
+
+}  // namespace ced::core

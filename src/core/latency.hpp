@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fsm/synthesize.hpp"
+#include "sim/faults.hpp"
+
+namespace ced::core {
+
+struct LatencyAnalysisOptions {
+  /// Cap on the reported bound (path enumeration cost grows with it).
+  int max_latency = 8;
+  bool restrict_to_reachable = true;
+};
+
+/// Per-fault loop structure summary.
+struct LatencyAnalysis {
+  /// For each fault: the depth at which path enumeration saturates — the
+  /// length of the longest loop-free faulty path from any activation,
+  /// capped at max_latency (0 when the fault never activates). Beyond this
+  /// depth every path of the fault has revisited a state, so additional
+  /// latency opens no new detection alternatives for it (§2's loop rule).
+  std::vector<int> shortest_loop_per_fault;
+  /// max over faults: increasing the latency bound beyond this value can
+  /// never reduce the number of parity functions further.
+  int max_useful_latency = 0;
+};
+
+/// Implements §2's "maximum latency of interest": the bound past which the
+/// loop rule has truncated every enumeration path of every fault.
+LatencyAnalysis analyze_useful_latency(
+    const fsm::FsmCircuit& circuit, std::span<const sim::StuckAtFault> faults,
+    const LatencyAnalysisOptions& opts = {});
+
+}  // namespace ced::core

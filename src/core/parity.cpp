@@ -1,0 +1,51 @@
+#include "core/parity.hpp"
+
+#include <bit>
+
+namespace ced::core {
+
+bool covers_all(std::span<const ParityFunc> betas,
+                const DetectabilityTable& table) {
+  for (const ErroneousCase& ec : table.cases) {
+    if (!covers(betas, ec)) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> uncovered_cases(std::span<const ParityFunc> betas,
+                                           const DetectabilityTable& table) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < table.cases.size(); ++i) {
+    if (!covers(betas, table.cases[i])) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> uncovered_among(
+    std::span<const ParityFunc> betas, const DetectabilityTable& table,
+    std::span<const std::uint32_t> rows) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i : rows) {
+    if (!covers(betas, table.cases[i])) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ParityFunc> prune_redundant(std::span<const ParityFunc> betas,
+                                        const DetectabilityTable& table) {
+  std::vector<ParityFunc> kept(betas.begin(), betas.end());
+  // Try removing from the back so earlier (usually stronger) trees survive.
+  for (std::size_t i = kept.size(); i-- > 0;) {
+    std::vector<ParityFunc> trial;
+    trial.reserve(kept.size() - 1);
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) trial.push_back(kept[j]);
+    }
+    if (covers_all(trial, table)) kept = std::move(trial);
+  }
+  return kept;
+}
+
+}  // namespace ced::core

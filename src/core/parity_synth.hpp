@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/parity.hpp"
+#include "fsm/synthesize.hpp"
+#include "logic/area.hpp"
+
+namespace ced::core {
+
+struct CedSynthOptions {
+  fsm::MinimizerKind minimizer = fsm::MinimizerKind::kEspresso;
+  logic::SynthOptions synth;
+  /// Treat unreachable state codes as don't-cares when minimizing the
+  /// prediction logic (sound: the fault-free machine never visits them).
+  bool dc_unreachable = true;
+  /// Factor the prediction covers into multilevel logic before mapping.
+  bool factor = true;
+  /// Run the netlist optimizer on the finished checker.
+  bool optimize = true;
+  /// Build the comparator as a tree of two-rail checker cells (the
+  /// totally-self-checking comparator style of the paper's ref [8],
+  /// Bolchini et al.) instead of a plain XOR/OR tree. The checker then
+  /// also exposes dual-rail outputs whose non-complementarity signals
+  /// either an FSM error or a fault inside the checker itself.
+  bool two_rail = false;
+};
+
+/// The synthesized CED circuitry of Fig. 3: q XOR compaction trees over the
+/// FSM's next-state/output bits, the combinational prediction logic, and
+/// the inequality comparator. Hold registers (output hold + prediction
+/// hold, 2q flip-flops) are accounted separately since the netlist itself
+/// is combinational.
+///
+/// Checker netlist interface:
+///   inputs : r primary inputs, s present-state bits, n observable bits
+///            (the FSM logic's actual next-state/output values);
+///   outputs: q compacted bits, q predicted bits, 1 error bit
+///            (error = 1 iff compacted != predicted).
+struct CedHardware {
+  std::vector<ParityFunc> parities;
+  logic::Netlist checker;
+  std::size_t hold_registers = 0;  ///< 2q
+  int r = 0, s = 0, n = 0, q = 0;
+  /// True when the comparator is a two-rail checker tree; the checker then
+  /// has two extra outputs (rail0, rail1) before the final error bit.
+  bool two_rail = false;
+
+  /// Evaluates the checker for one transition; returns true iff the error
+  /// signal is asserted. `observable` is the FSM logic's n-bit response.
+  bool error_asserted(std::uint64_t input, std::uint64_t state_code,
+                      std::uint64_t observable) const;
+
+  /// Total CED hardware cost: checker gates plus hold-register area.
+  logic::AreaReport cost(const logic::CellLibrary& lib) const {
+    return logic::measure_area(checker, lib, hold_registers);
+  }
+};
+
+/// Builds the Fig. 3 architecture for the chosen parity functions.
+/// The prediction logic is specified from the fault-free circuit itself
+/// (golden simulation of every reachable state) and minimized with the
+/// same two-level flow as the FSM logic.
+CedHardware synthesize_ced(const fsm::FsmCircuit& circuit,
+                           std::span<const ParityFunc> parities,
+                           const CedSynthOptions& opts = {});
+
+}  // namespace ced::core

@@ -1,0 +1,124 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/exact.hpp"
+
+namespace ced::core {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+PipelineReport report_for(const fsm::FsmCircuit& circuit,
+                          const std::vector<sim::StuckAtFault>& faults,
+                          const DetectabilityTable& table,
+                          const PipelineOptions& opts,
+                          std::span<const ParityFunc> warm_start,
+                          bool warm_is_lower_latency_cover = false) {
+  PipelineReport rep;
+  rep.inputs = circuit.r();
+  rep.state_bits = circuit.s();
+  rep.outputs = circuit.o();
+  const auto orig = logic::measure_area(
+      circuit.netlist, opts.library,
+      static_cast<std::size_t>(circuit.s()));  // state register flip-flops
+  rep.orig_gates = orig.gates;
+  rep.orig_area = orig.area;
+  rep.num_faults = faults.size();
+  rep.num_detectable_faults = table.num_detectable_faults;
+  rep.num_cases = table.cases.size();
+  rep.latency = table.latency;
+
+  auto t0 = std::chrono::steady_clock::now();
+  rep.parities = select_parities(table, opts.solver, opts.algo,
+                                 &rep.algo_stats, warm_start);
+  // A cover for a smaller latency bound is always a valid cover for this
+  // one (detecting earlier is allowed), even when this table was
+  // conservatively strengthened and the solver could not do as well.
+  if (warm_is_lower_latency_cover && !warm_start.empty() &&
+      warm_start.size() < rep.parities.size()) {
+    rep.parities.assign(warm_start.begin(), warm_start.end());
+    rep.algo_stats.final_q = static_cast<int>(rep.parities.size());
+  }
+  rep.t_solve = seconds_since(t0);
+  rep.num_trees = static_cast<int>(rep.parities.size());
+
+  t0 = std::chrono::steady_clock::now();
+  const CedHardware hw = synthesize_ced(circuit, rep.parities, opts.ced);
+  const auto cost = hw.cost(opts.library);
+  rep.ced_gates = cost.gates;
+  rep.ced_area = cost.area;
+  rep.t_ced = seconds_since(t0);
+  return rep;
+}
+
+}  // namespace
+
+std::vector<ParityFunc> select_parities(const DetectabilityTable& table,
+                                        SolverKind solver,
+                                        const Algorithm1Options& algo,
+                                        Algorithm1Stats* stats,
+                                        std::span<const ParityFunc> warm_start) {
+  switch (solver) {
+    case SolverKind::kGreedy:
+      return greedy_cover(table, algo.greedy);
+    case SolverKind::kExact: {
+      if (auto sol = exact_min_cover(table)) {
+        if (stats) stats->final_q = static_cast<int>(sol->size());
+        return *sol;
+      }
+      return minimize_parity_functions(table, algo, stats, warm_start);
+    }
+    case SolverKind::kLpRounding:
+      return minimize_parity_functions(table, algo, stats, warm_start);
+  }
+  return {};
+}
+
+PipelineReport run_pipeline(const fsm::Fsm& f, const PipelineOptions& opts) {
+  auto sweep = run_latency_sweep(f, std::vector<int>{opts.latency}, opts);
+  return sweep.front();
+}
+
+std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
+                                              std::span<const int> latencies,
+                                              const PipelineOptions& opts) {
+  auto t0 = std::chrono::steady_clock::now();
+  const fsm::FsmCircuit circuit = fsm::synthesize_fsm(f, opts.encoding,
+                                                      opts.synth);
+  const double t_synth = seconds_since(t0);
+
+  const std::vector<sim::StuckAtFault> faults =
+      sim::enumerate_stuck_at(circuit.netlist, opts.faults);
+
+  const int p_max = *std::max_element(latencies.begin(), latencies.end());
+  ExtractOptions ex = opts.extract;
+  ex.latency = p_max;
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<DetectabilityTable> tables =
+      extract_cases_multi(circuit, faults, ex);
+  const double t_extract = seconds_since(t0);
+
+  std::vector<PipelineReport> reports;
+  std::vector<ParityFunc> warm;
+  for (int p : latencies) {
+    const DetectabilityTable& table = tables[static_cast<std::size_t>(p - 1)];
+    // A cover for latency p stays valid at p+1 (detecting at step 1 is
+    // always allowed), so sweeping in ascending order lets each latency
+    // warm-start from the previous solution; q(p) becomes monotone.
+    const bool ascending = warm.empty() || p >= reports.back().latency;
+    PipelineReport rep =
+        report_for(circuit, faults, table, opts, warm, ascending);
+    rep.t_synth = t_synth;
+    rep.t_extract = t_extract;
+    warm = rep.parities;
+    reports.push_back(std::move(rep));
+  }
+  return reports;
+}
+
+}  // namespace ced::core

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/algorithm1.hpp"
+#include "core/extract.hpp"
+#include "core/parity_synth.hpp"
+#include "fsm/synthesize.hpp"
+#include "sim/faults.hpp"
+
+namespace ced::core {
+
+/// Which parity-selection solver drives the pipeline.
+enum class SolverKind {
+  kLpRounding,  ///< Algorithm 1 (LP relaxation + randomized rounding)
+  kGreedy,      ///< greedy/local-search baseline
+  kExact,       ///< exhaustive optimum (small instances only; falls back
+                ///< to Algorithm 1 when the instance is too large)
+};
+
+struct PipelineOptions {
+  fsm::EncodingKind encoding = fsm::EncodingKind::kBinary;
+  fsm::FsmSynthOptions synth;
+  int latency = 1;
+  SolverKind solver = SolverKind::kLpRounding;
+  Algorithm1Options algo;
+  CedSynthOptions ced;
+  logic::CellLibrary library = logic::CellLibrary::mcnc();
+  sim::FaultListOptions faults;
+  ExtractOptions extract;  ///< .latency is overridden by `latency`
+};
+
+/// Everything the paper's Table 1 reports for one circuit at one latency,
+/// plus diagnostics.
+struct PipelineReport {
+  // Original circuit.
+  int inputs = 0, state_bits = 0, outputs = 0;
+  std::size_t orig_gates = 0;
+  double orig_area = 0.0;  ///< combinational logic + state register
+
+  // Fault model / detectability table.
+  std::size_t num_faults = 0;
+  std::size_t num_detectable_faults = 0;
+  std::size_t num_cases = 0;
+
+  // Solution.
+  int latency = 0;
+  int num_trees = 0;               ///< q
+  std::size_t ced_gates = 0;       ///< CED hardware gate count
+  double ced_area = 0.0;           ///< CED hardware cost (incl. hold regs)
+  std::vector<ParityFunc> parities;
+  Algorithm1Stats algo_stats;
+
+  // Wall-clock seconds per stage.
+  double t_synth = 0, t_extract = 0, t_solve = 0, t_ced = 0;
+};
+
+/// Runs the full flow on one FSM: encode + synthesize, enumerate stuck-at
+/// faults, build the detectability table at `opts.latency`, minimize the
+/// parity functions, synthesize the Fig. 3 hardware, and measure costs.
+PipelineReport run_pipeline(const fsm::Fsm& f, const PipelineOptions& opts);
+
+/// Shared-extraction sweep: synthesizes once, extracts the table once at
+/// max(latencies), and derives each smaller-latency table by truncation
+/// (provably identical to direct extraction). Returns one report per
+/// requested latency, in order.
+std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
+                                              std::span<const int> latencies,
+                                              const PipelineOptions& opts);
+
+/// Solver dispatch shared by the pipeline and the benches. `warm_start`
+/// optionally seeds the incumbent (see minimize_parity_functions).
+std::vector<ParityFunc> select_parities(const DetectabilityTable& table,
+                                        SolverKind solver,
+                                        const Algorithm1Options& algo,
+                                        Algorithm1Stats* stats = nullptr,
+                                        std::span<const ParityFunc> warm_start = {});
+
+}  // namespace ced::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ced::core {
+
+/// Small deterministic xorshift64* PRNG. All randomized stages of the
+/// library draw from this so runs are reproducible from a seed; nothing
+/// reads entropy from the environment.
+struct Rng {
+  std::uint64_t state = 0x5eed;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) : state(seed | 1) {}
+
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with the given probability.
+  bool flip(double probability) { return uniform() < probability; }
+};
+
+}  // namespace ced::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/parity_synth.hpp"
+#include "sim/faults.hpp"
+
+namespace ced::core {
+
+struct VerifyOptions {
+  /// Random input walks per fault (plus one from every reachable state for
+  /// short exhaustive prefixes when the input space is small).
+  int walks = 20;
+  int walk_length = 96;
+  std::uint64_t seed = 0x7e57;
+  /// Fault-free walks used to check for false alarms.
+  int fault_free_walks = 50;
+};
+
+/// Outcome of end-to-end sequential validation of a CED design.
+struct VerifyResult {
+  std::size_t faults_total = 0;
+  std::size_t faults_activated = 0;   ///< faults that produced >= 1 error
+  std::size_t activations_checked = 0;
+  std::size_t violations = 0;         ///< detection later than the bound
+  std::size_t false_alarms = 0;       ///< error asserted fault-free
+  int max_latency_observed = 0;       ///< transitions from activation to detection
+  std::vector<std::string> messages;  ///< first few failure descriptions
+
+  bool ok() const { return violations == 0 && false_alarms == 0; }
+};
+
+/// Drives the full architecture cycle by cycle: the (possibly faulty) FSM
+/// circuit advances its state register while the checker of Fig. 3 watches
+/// every transition. Asserts that
+///   (a) fault-free runs never raise the error signal, and
+///   (b) once a fault first corrupts a transition, the error signal is
+///       raised within `latency_bound` transitions of the activation,
+///       on every simulated input path.
+VerifyResult verify_bounded_detection(const fsm::FsmCircuit& circuit,
+                                      const CedHardware& hw,
+                                      std::span<const sim::StuckAtFault> faults,
+                                      int latency_bound,
+                                      const VerifyOptions& opts = {});
+
+}  // namespace ced::core

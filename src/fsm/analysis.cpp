@@ -1,0 +1,80 @@
+#include "fsm/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ced::fsm {
+
+std::vector<int> shortest_cycle_per_state(const Fsm& f) {
+  const int n = f.num_states();
+  // Successor sets (deduplicated).
+  std::vector<std::vector<int>> succ(n);
+  for (const auto& e : f.edges()) {
+    succ[e.from].push_back(e.to);
+  }
+  for (auto& v : succ) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  std::vector<int> result(n, 0);
+  for (int s = 0; s < n; ++s) {
+    // BFS from every successor of s back to s.
+    std::vector<int> dist(n, -1);
+    std::queue<int> q;
+    for (int t : succ[s]) {
+      if (t == s) {
+        result[s] = 1;  // self-loop
+        break;
+      }
+      if (dist[t] < 0) {
+        dist[t] = 1;
+        q.push(t);
+      }
+    }
+    if (result[s] == 1) continue;
+    int best = 0;
+    while (!q.empty() && best == 0) {
+      const int u = q.front();
+      q.pop();
+      for (int t : succ[u]) {
+        if (t == s) {
+          best = dist[u] + 1;
+          break;
+        }
+        if (dist[t] < 0) {
+          dist[t] = dist[u] + 1;
+          q.push(t);
+        }
+      }
+    }
+    result[s] = best;
+  }
+  return result;
+}
+
+StgStats analyze_stg(const Fsm& f) {
+  StgStats st;
+  st.num_states = f.num_states();
+  st.num_edges = static_cast<int>(f.edges().size());
+  std::vector<bool> has_self(f.num_states(), false);
+  for (const auto& e : f.edges()) {
+    if (e.from == e.to) {
+      ++st.num_self_loops;
+      has_self[e.from] = true;
+    }
+  }
+  st.states_with_self_loop =
+      static_cast<int>(std::count(has_self.begin(), has_self.end(), true));
+  const auto reach = f.reachable_states();
+  st.reachable_states =
+      static_cast<int>(std::count(reach.begin(), reach.end(), true));
+  int shortest = 0;
+  for (int c : shortest_cycle_per_state(f)) {
+    if (c > 0 && (shortest == 0 || c < shortest)) shortest = c;
+  }
+  st.shortest_cycle = shortest;
+  return st;
+}
+
+}  // namespace ced::fsm

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "fsm/fsm.hpp"
+
+namespace ced::fsm {
+
+/// Structural statistics of a state transition graph.
+struct StgStats {
+  int num_states = 0;
+  int num_edges = 0;
+  int num_self_loops = 0;        ///< edges with from == to
+  int states_with_self_loop = 0;
+  int reachable_states = 0;
+  /// Length of the shortest directed cycle in the STG, or 0 if acyclic.
+  int shortest_cycle = 0;
+};
+
+StgStats analyze_stg(const Fsm& f);
+
+/// Shortest directed cycle through each state (BFS per state);
+/// entry is 0 when the state lies on no cycle.
+std::vector<int> shortest_cycle_per_state(const Fsm& f);
+
+}  // namespace ced::fsm

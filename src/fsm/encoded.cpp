@@ -1,0 +1,65 @@
+#include "fsm/encoded.hpp"
+
+#include <stdexcept>
+
+namespace ced::fsm {
+
+EncodedFsm encode_fsm(const Fsm& f, EncodingKind kind) {
+  return encode_fsm(f, encode_states(f, kind));
+}
+
+EncodedFsm encode_fsm(const Fsm& f, const StateEncoding& enc) {
+  EncodedFsm e;
+  e.num_inputs = f.num_inputs();
+  e.num_state_bits = enc.num_bits;
+  e.num_outputs = f.num_outputs();
+  e.reset_code = enc.codes[static_cast<std::size_t>(f.reset_state())];
+  e.encoding = enc;
+
+  const int vars = e.num_vars();
+  if (vars > logic::TruthTable::kMaxVars) {
+    throw std::runtime_error("encode_fsm: input+state space too large");
+  }
+  const std::size_t space = std::size_t{1} << vars;
+
+  e.next_state.assign(e.num_state_bits, logic::SopSpec(vars));
+  e.outputs.assign(e.num_outputs, logic::SopSpec(vars));
+
+  // Track which assignments are touched by some STG edge; everything else
+  // is a global don't-care.
+  logic::BitVec specified(space);
+
+  for (const auto& edge : f.edges()) {
+    const std::uint64_t state_code = enc.codes[edge.from];
+    const std::uint64_t next_code = enc.codes[edge.to];
+    logic::for_each_minterm(edge.input, f.num_inputs(), [&](std::uint64_t in) {
+      const std::uint64_t a = e.pack(in, state_code);
+      specified.set(a);
+      for (int b = 0; b < e.num_state_bits; ++b) {
+        if ((next_code >> b) & 1) {
+          e.next_state[b].on.set(a);
+        }
+      }
+      for (int b = 0; b < e.num_outputs; ++b) {
+        const char c = edge.output[static_cast<std::size_t>(b)];
+        if (c == '1') {
+          e.outputs[b].on.set(a);
+        } else if (c == '-') {
+          e.outputs[b].dc.set(a);
+        }
+      }
+    });
+  }
+
+  const logic::BitVec unspecified = ~specified;
+  for (auto& spec : e.next_state) spec.dc |= unspecified;
+  for (auto& spec : e.outputs) {
+    spec.dc |= unspecified;
+    // An output bit may have been marked DC by one edge; if another edge
+    // forces it ON for the same assignment, ON wins.
+    spec.dc.subtract(spec.on);
+  }
+  return e;
+}
+
+}  // namespace ced::fsm

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "fsm/encoding.hpp"
+#include "fsm/fsm.hpp"
+#include "logic/truth_table.hpp"
+
+namespace ced::fsm {
+
+/// The FSM after state assignment: one incompletely specified Boolean
+/// function per next-state bit and per primary output, all over the same
+/// variable space.
+///
+/// Variable order (combinational input space, `num_vars()` = r + s):
+///   vars 0 .. r-1   : primary inputs,
+///   vars r .. r+s-1 : present-state bits.
+/// Assignment packing: `assignment = input | (state_code << r)`.
+///
+/// Unspecified (state, input) pairs, output '-' positions, and unused state
+/// codes are don't-cares.
+struct EncodedFsm {
+  int num_inputs = 0;      ///< r
+  int num_state_bits = 0;  ///< s
+  int num_outputs = 0;     ///< o = n - s
+  std::uint64_t reset_code = 0;  ///< encoded reset state
+  StateEncoding encoding;
+  std::vector<logic::SopSpec> next_state;  ///< s specs
+  std::vector<logic::SopSpec> outputs;     ///< o specs
+
+  int num_vars() const { return num_inputs + num_state_bits; }
+  /// Total observable bits n = s + o (next-state bits then outputs).
+  int num_observable() const { return num_state_bits + num_outputs; }
+
+  std::uint64_t pack(std::uint64_t input, std::uint64_t state_code) const {
+    return input | (state_code << num_inputs);
+  }
+};
+
+/// Encodes `f` under the given state assignment, expanding every STG edge
+/// into minterms of the combinational input space. Throws if r + s exceeds
+/// the truth-table limit.
+EncodedFsm encode_fsm(const Fsm& f, EncodingKind kind);
+EncodedFsm encode_fsm(const Fsm& f, const StateEncoding& enc);
+
+}  // namespace ced::fsm

@@ -1,0 +1,106 @@
+#include "fsm/encoding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ced::fsm {
+namespace {
+
+int bits_for(int n) {
+  int b = 0;
+  while ((1 << b) < n) ++b;
+  return std::max(b, 1);
+}
+
+/// Greedy assignment: order states by STG degree, give each state the free
+/// code maximizing the minimum Hamming distance to its already-assigned STG
+/// neighbours (a light-weight stand-in for NOVA-style encoders).
+StateEncoding encode_spread(const Fsm& f) {
+  const int n = f.num_states();
+  const int bits = bits_for(n);
+  const int num_codes = 1 << bits;
+
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& e : f.edges()) {
+    if (e.from != e.to) {
+      adj[e.from].push_back(e.to);
+      adj[e.to].push_back(e.from);
+    }
+  }
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return adj[a].size() > adj[b].size();
+  });
+
+  StateEncoding enc;
+  enc.num_bits = bits;
+  enc.codes.assign(n, 0);
+  std::vector<bool> used(num_codes, false);
+  std::vector<bool> assigned(n, false);
+
+  for (int s : order) {
+    int best_code = -1;
+    int best_score = -1;
+    for (int c = 0; c < num_codes; ++c) {
+      if (used[c]) continue;
+      int score = 0;
+      for (int t : adj[s]) {
+        if (assigned[t]) {
+          score += std::popcount(static_cast<unsigned>(
+              c ^ static_cast<int>(enc.codes[t])));
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_code = c;
+      }
+    }
+    enc.codes[s] = static_cast<std::uint64_t>(best_code);
+    used[best_code] = true;
+    assigned[s] = true;
+  }
+  return enc;
+}
+
+}  // namespace
+
+int StateEncoding::state_of(std::uint64_t code) const {
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] == code) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StateEncoding encode_states(const Fsm& f, EncodingKind kind) {
+  const int n = f.num_states();
+  StateEncoding enc;
+  switch (kind) {
+    case EncodingKind::kBinary:
+      enc.num_bits = bits_for(n);
+      for (int i = 0; i < n; ++i) enc.codes.push_back(i);
+      break;
+    case EncodingKind::kGray:
+      enc.num_bits = bits_for(n);
+      for (int i = 0; i < n; ++i) {
+        enc.codes.push_back(static_cast<std::uint64_t>(i ^ (i >> 1)));
+      }
+      break;
+    case EncodingKind::kOneHot:
+      if (n > 48) {
+        throw std::invalid_argument("one-hot encoding too wide");
+      }
+      enc.num_bits = n;
+      for (int i = 0; i < n; ++i) {
+        enc.codes.push_back(std::uint64_t{1} << i);
+      }
+      break;
+    case EncodingKind::kSpread:
+      return encode_spread(f);
+  }
+  return enc;
+}
+
+}  // namespace ced::fsm

@@ -1,0 +1,165 @@
+#include "fsm/fsm.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ced::fsm {
+namespace {
+
+logic::Cube cube_from_pattern(const std::string& pattern) {
+  logic::Cube c;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == '0') c = c.with_literal(static_cast<int>(i), false);
+    if (pattern[i] == '1') c = c.with_literal(static_cast<int>(i), true);
+  }
+  return c;
+}
+
+std::string pattern_from_cube(const logic::Cube& c, int width) {
+  return c.to_string(width);
+}
+
+/// Two specified output patterns conflict if some position has '0' vs '1'.
+bool outputs_conflict(const std::string& a, const std::string& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] == '0' && b[i] == '1') || (a[i] == '1' && b[i] == '0')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Fsm Fsm::from_kiss(const kiss::Kiss2& k) {
+  Fsm f;
+  f.num_inputs_ = k.num_inputs;
+  f.num_outputs_ = k.num_outputs;
+  if (k.num_inputs > 30) {
+    throw std::runtime_error("Fsm: more than 30 primary inputs unsupported");
+  }
+
+  std::unordered_map<std::string, int> index;
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = index.emplace(name, f.state_names_.size());
+    if (inserted) f.state_names_.push_back(name);
+    return it->second;
+  };
+
+  for (const auto& t : k.transitions) {
+    Edge e;
+    e.input = cube_from_pattern(t.input);
+    e.from = intern(t.current);
+    e.to = intern(t.next);
+    e.output = t.output;
+    f.edges_.push_back(std::move(e));
+  }
+  f.reset_state_ = intern(k.reset_state);
+
+  f.out_edges_.resize(f.state_names_.size());
+  for (std::size_t i = 0; i < f.edges_.size(); ++i) {
+    f.out_edges_[f.edges_[i].from].push_back(static_cast<int>(i));
+  }
+
+  // Determinism check: overlapping edges from one state must agree.
+  for (int s = 0; s < f.num_states(); ++s) {
+    const auto& out = f.out_edges_[s];
+    for (std::size_t a = 0; a < out.size(); ++a) {
+      for (std::size_t b = a + 1; b < out.size(); ++b) {
+        const Edge& ea = f.edges_[out[a]];
+        const Edge& eb = f.edges_[out[b]];
+        if (!ea.input.intersects(eb.input)) continue;
+        if (ea.to != eb.to || outputs_conflict(ea.output, eb.output)) {
+          throw std::runtime_error(
+              "Fsm: nondeterministic transitions from state '" +
+              f.state_names_[s] + "'");
+        }
+      }
+    }
+  }
+  return f;
+}
+
+kiss::Kiss2 Fsm::to_kiss() const {
+  kiss::Kiss2 k;
+  k.num_inputs = num_inputs_;
+  k.num_outputs = num_outputs_;
+  k.reset_state = state_names_[reset_state_];
+  for (const auto& e : edges_) {
+    kiss::Transition t;
+    t.input = pattern_from_cube(e.input, num_inputs_);
+    t.current = state_names_[e.from];
+    t.next = state_names_[e.to];
+    t.output = e.output;
+    k.transitions.push_back(std::move(t));
+  }
+  k.declared_states = num_states();
+  k.declared_terms = static_cast<int>(edges_.size());
+  return k;
+}
+
+std::optional<int> Fsm::edge_for(int state, std::uint64_t input) const {
+  for (int ei : out_edges_[state]) {
+    if (edges_[ei].input.contains(input)) return ei;
+  }
+  return std::nullopt;
+}
+
+std::optional<Fsm::Behavior> Fsm::behavior_for(int state,
+                                               std::uint64_t input) const {
+  std::optional<Behavior> b;
+  for (int ei : out_edges_[state]) {
+    const Edge& e = edges_[ei];
+    if (!e.input.contains(input)) continue;
+    if (!b) {
+      b = Behavior{e.to, e.output};
+      continue;
+    }
+    // Determinism guarantees equal next states and conflict-free outputs;
+    // specified bits refine don't-cares.
+    for (std::size_t i = 0; i < e.output.size(); ++i) {
+      if (b->output[i] == '-') b->output[i] = e.output[i];
+    }
+  }
+  return b;
+}
+
+int Fsm::state_index(const std::string& name) const {
+  for (int s = 0; s < num_states(); ++s) {
+    if (state_names_[static_cast<std::size_t>(s)] == name) return s;
+  }
+  return -1;
+}
+
+bool Fsm::is_complete() const {
+  const std::uint64_t space = std::uint64_t{1} << num_inputs_;
+  for (int s = 0; s < num_states(); ++s) {
+    // Count minterms covered by this state's (deterministic) edges; overlap
+    // makes a simple sum insufficient, so walk the space when it is small
+    // and fall back to cube arithmetic otherwise.
+    for (std::uint64_t a = 0; a < space; ++a) {
+      if (!edge_for(s, a)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<bool> Fsm::reachable_states() const {
+  std::vector<bool> seen(num_states(), false);
+  std::vector<int> stack{reset_state_};
+  seen[reset_state_] = true;
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    for (int ei : out_edges_[s]) {
+      const int t = edges_[ei].to;
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace ced::fsm

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kiss/kiss.hpp"
+#include "logic/cube.hpp"
+
+namespace ced::fsm {
+
+/// One edge of the symbolic state transition graph. The input condition is
+/// a cube over the primary inputs; the output pattern may contain
+/// don't-cares ('-').
+struct Edge {
+  logic::Cube input;
+  int from = 0;
+  int to = 0;
+  std::string output;
+};
+
+/// A symbolic (unencoded) Mealy FSM, as read from KISS2.
+///
+/// States are indexed densely; edge input conditions are cubes over the
+/// `num_inputs()` primary inputs. The machine need not be completely
+/// specified: (state, input) pairs matched by no edge are don't-cares that
+/// synthesis is free to exploit.
+class Fsm {
+ public:
+  /// Builds from a parsed KISS2 description; validates determinism
+  /// (overlapping input cubes from one state must agree on next state and
+  /// on all specified output bits). Throws std::runtime_error otherwise.
+  static Fsm from_kiss(const kiss::Kiss2& k);
+
+  /// Round-trips back to KISS2 (used by the writer and tests).
+  kiss::Kiss2 to_kiss() const;
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+  int num_states() const { return static_cast<int>(state_names_.size()); }
+  int reset_state() const { return reset_state_; }
+  const std::string& state_name(int s) const { return state_names_[s]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edges leaving state `s` (indices into edges()).
+  const std::vector<int>& edges_from(int s) const { return out_edges_[s]; }
+
+  /// First edge matching (state, concrete input), or nullopt if the pair is
+  /// unspecified. Determinism makes "first" unambiguous.
+  std::optional<int> edge_for(int state, std::uint64_t input) const;
+
+  /// The merged behaviour of (state, concrete input): when several
+  /// consistent edges overlap, their specified output bits are combined
+  /// (an edge's '1'/'0' refines another's '-'). Returns nullopt when the
+  /// pair is unspecified.
+  struct Behavior {
+    int next = 0;
+    std::string output;
+  };
+  std::optional<Behavior> behavior_for(int state, std::uint64_t input) const;
+
+  /// Index of a state by name, or -1.
+  int state_index(const std::string& name) const;
+
+  /// True if every state covers the full input space.
+  bool is_complete() const;
+
+  /// States reachable from the reset state (over specified edges).
+  std::vector<bool> reachable_states() const;
+
+ private:
+  int num_inputs_ = 0;
+  int num_outputs_ = 0;
+  int reset_state_ = 0;
+  std::vector<std::string> state_names_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_edges_;
+};
+
+}  // namespace ced::fsm

@@ -1,0 +1,235 @@
+#include "fsm/minimize_states.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "kiss/kiss.hpp"
+
+namespace ced::fsm {
+namespace {
+
+/// Rebuilds a machine from a class assignment: one representative state
+/// per class; `emit_all_members` controls whether only the representative's
+/// edges (exact minimization) or every member's edges (compatible merging,
+/// where members refine each other's don't-cares) are kept.
+Fsm rebuild(const Fsm& f, const std::vector<int>& cls, int num_classes,
+            bool emit_all_members) {
+  std::vector<int> rep(static_cast<std::size_t>(num_classes), -1);
+  for (int s = 0; s < f.num_states(); ++s) {
+    if (rep[static_cast<std::size_t>(cls[static_cast<std::size_t>(s)])] < 0) {
+      rep[static_cast<std::size_t>(cls[static_cast<std::size_t>(s)])] = s;
+    }
+  }
+
+  kiss::Kiss2 k;
+  k.num_inputs = f.num_inputs();
+  k.num_outputs = f.num_outputs();
+  k.reset_state =
+      f.state_name(rep[static_cast<std::size_t>(
+          cls[static_cast<std::size_t>(f.reset_state())])]);
+
+  auto class_name = [&](int c) {
+    return f.state_name(rep[static_cast<std::size_t>(c)]);
+  };
+
+  std::vector<kiss::Transition> seen;
+  for (const auto& e : f.edges()) {
+    const int from_cls = cls[static_cast<std::size_t>(e.from)];
+    if (!emit_all_members &&
+        e.from != rep[static_cast<std::size_t>(from_cls)]) {
+      continue;
+    }
+    kiss::Transition t;
+    t.input = e.input.to_string(f.num_inputs());
+    t.current = class_name(from_cls);
+    t.next = class_name(cls[static_cast<std::size_t>(e.to)]);
+    t.output = e.output;
+    k.transitions.push_back(std::move(t));
+  }
+  // Drop exact duplicate rows (members often share behaviour).
+  std::sort(k.transitions.begin(), k.transitions.end(),
+            [](const kiss::Transition& a, const kiss::Transition& b) {
+              return std::tie(a.input, a.current, a.next, a.output) <
+                     std::tie(b.input, b.current, b.next, b.output);
+            });
+  k.transitions.erase(
+      std::unique(k.transitions.begin(), k.transitions.end(),
+                  [](const kiss::Transition& a, const kiss::Transition& b) {
+                    return std::tie(a.input, a.current, a.next, a.output) ==
+                           std::tie(b.input, b.current, b.next, b.output);
+                  }),
+      k.transitions.end());
+  return Fsm::from_kiss(k);
+}
+
+}  // namespace
+
+StateMinimizeResult minimize_states(const Fsm& f) {
+  const int n = f.num_states();
+  const std::uint64_t inputs = std::uint64_t{1} << f.num_inputs();
+
+  std::vector<int> cls(static_cast<std::size_t>(n), 0);
+  int num_classes = 1;
+  while (true) {
+    // Signature: per input, (specified?, output pattern, next class).
+    std::map<std::vector<std::pair<std::string, int>>, int> index;
+    std::vector<int> next_cls(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      std::vector<std::pair<std::string, int>> sig;
+      sig.reserve(inputs + 1);
+      sig.emplace_back("", cls[static_cast<std::size_t>(s)]);
+      for (std::uint64_t a = 0; a < inputs; ++a) {
+        const auto b = f.behavior_for(s, a);
+        if (!b) {
+          sig.emplace_back("?", -1);
+        } else {
+          sig.emplace_back(b->output, cls[static_cast<std::size_t>(b->next)]);
+        }
+      }
+      auto [it, inserted] = index.emplace(std::move(sig), index.size());
+      (void)inserted;
+      next_cls[static_cast<std::size_t>(s)] = static_cast<int>(it->second);
+    }
+    const int new_count = static_cast<int>(index.size());
+    cls = std::move(next_cls);
+    if (new_count == num_classes) break;
+    num_classes = new_count;
+  }
+
+  StateMinimizeResult res{rebuild(f, cls, num_classes, false), cls, n,
+                          num_classes};
+  return res;
+}
+
+StateMinimizeResult merge_compatible_states(const Fsm& f) {
+  const int n = f.num_states();
+  const std::uint64_t inputs = std::uint64_t{1} << f.num_inputs();
+
+  // ---- Pairwise incompatibility by iterative marking.
+  auto outputs_conflict = [&](const std::string& a, const std::string& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if ((a[i] == '0' && b[i] == '1') || (a[i] == '1' && b[i] == '0')) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<std::vector<bool>> incompat(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      for (std::uint64_t a = 0; a < inputs && !incompat[u][v]; ++a) {
+        const auto bu = f.behavior_for(u, a);
+        const auto bv = f.behavior_for(v, a);
+        if (bu && bv && outputs_conflict(bu->output, bv->output)) {
+          incompat[u][v] = incompat[v][u] = true;
+        }
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (incompat[u][v]) continue;
+        for (std::uint64_t a = 0; a < inputs; ++a) {
+          const auto bu = f.behavior_for(u, a);
+          const auto bv = f.behavior_for(v, a);
+          if (!bu || !bv) continue;
+          const int nu = bu->next;
+          const int nv = bv->next;
+          if (incompat[static_cast<std::size_t>(nu)][static_cast<std::size_t>(nv)]) {
+            incompat[u][v] = incompat[v][u] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Greedy merging with implication closure.
+  std::vector<int> cls(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    cls[static_cast<std::size_t>(s)] = s;
+    members[static_cast<std::size_t>(s)] = {s};
+  }
+
+  auto try_merge = [&](int u, int v) {
+    std::vector<int> trial_cls = cls;
+    auto trial_members = members;
+    std::vector<std::pair<int, int>> work{{trial_cls[u], trial_cls[v]}};
+    while (!work.empty()) {
+      auto [c1, c2] = work.back();
+      work.pop_back();
+      if (c1 == c2) continue;
+      for (int x : trial_members[static_cast<std::size_t>(c1)]) {
+        for (int y : trial_members[static_cast<std::size_t>(c2)]) {
+          if (incompat[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)]) {
+            return false;
+          }
+        }
+      }
+      // Merge c2 into c1.
+      for (int y : trial_members[static_cast<std::size_t>(c2)]) {
+        trial_cls[static_cast<std::size_t>(y)] = c1;
+      }
+      auto& m1 = trial_members[static_cast<std::size_t>(c1)];
+      auto& m2 = trial_members[static_cast<std::size_t>(c2)];
+      m1.insert(m1.end(), m2.begin(), m2.end());
+      m2.clear();
+      // Implications: specified successors of one class must share a class.
+      for (std::uint64_t a = 0; a < inputs; ++a) {
+        int first = -1;
+        for (int x : m1) {
+          const auto b = f.behavior_for(x, a);
+          if (!b) continue;
+          const int nc = trial_cls[static_cast<std::size_t>(b->next)];
+          if (first < 0) {
+            first = nc;
+          } else if (nc != first) {
+            work.emplace_back(first, nc);
+          }
+        }
+      }
+    }
+    cls = std::move(trial_cls);
+    members = std::move(trial_members);
+    return true;
+  };
+
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (cls[static_cast<std::size_t>(u)] == cls[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      if (incompat[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      try_merge(u, v);
+    }
+  }
+
+  // Densify class ids.
+  std::map<int, int> dense;
+  for (int s = 0; s < n; ++s) {
+    dense.emplace(cls[static_cast<std::size_t>(s)],
+                  static_cast<int>(dense.size()));
+  }
+  std::vector<int> final_cls(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    final_cls[static_cast<std::size_t>(s)] =
+        dense[cls[static_cast<std::size_t>(s)]];
+  }
+
+  StateMinimizeResult res{rebuild(f, final_cls, static_cast<int>(dense.size()),
+                                  true),
+                          final_cls, n, static_cast<int>(dense.size())};
+  return res;
+}
+
+}  // namespace ced::fsm

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "fsm/fsm.hpp"
+
+namespace ced::fsm {
+
+/// Result of a state-minimization pass.
+struct StateMinimizeResult {
+  Fsm machine;                 ///< the reduced machine
+  std::vector<int> state_map;  ///< old state index -> new state index
+  int states_before = 0;
+  int states_after = 0;
+};
+
+/// Exact state minimization for the completely specified part of the
+/// behaviour: partition refinement over concrete inputs (Moore/Hopcroft
+/// style, adapted to Mealy machines). Unspecified responses are treated as
+/// a distinct value, so two states merge only when their specified *and*
+/// unspecified behaviour coincides — always safe, possibly conservative
+/// for incompletely specified machines.
+StateMinimizeResult minimize_states(const Fsm& f);
+
+/// Heuristic reduction for incompletely specified machines: greedy merging
+/// of compatible states with implication closure (a merge is committed
+/// only if every state pair it transitively forces together is itself
+/// compatible). The reduced machine implements the original: every
+/// specified transition keeps its next-state class and its specified
+/// output bits.
+StateMinimizeResult merge_compatible_states(const Fsm& f);
+
+}  // namespace ced::fsm

@@ -1,0 +1,66 @@
+#include "fsm/synthesize.hpp"
+
+#include "logic/factor.hpp"
+#include "logic/opt.hpp"
+
+namespace ced::fsm {
+namespace {
+
+logic::Cover run_minimizer(const logic::SopSpec& spec, MinimizerKind kind) {
+  switch (kind) {
+    case MinimizerKind::kEspresso:
+      return logic::minimize_espresso(spec);
+    case MinimizerKind::kExact:
+      return logic::minimize_exact(spec);
+    case MinimizerKind::kNone:
+      return logic::cover_from_on_set(spec);
+  }
+  return logic::Cover(spec.num_vars);
+}
+
+}  // namespace
+
+FsmCircuit synthesize_fsm(const EncodedFsm& enc, const FsmSynthOptions& opts) {
+  FsmCircuit c;
+  c.enc = enc;
+
+  std::vector<std::uint32_t> var_nets;
+  for (int i = 0; i < enc.num_inputs; ++i) {
+    var_nets.push_back(c.netlist.add_input("in" + std::to_string(i)));
+  }
+  for (int i = 0; i < enc.num_state_bits; ++i) {
+    var_nets.push_back(c.netlist.add_input("st" + std::to_string(i)));
+  }
+
+  logic::SynthContext ctx(c.netlist, opts.synth);
+  auto emit = [&](logic::Cover cover, const std::string& name) {
+    std::uint32_t net;
+    if (opts.factor) {
+      net = logic::synthesize_factor(ctx, logic::factor_cover(cover),
+                                     var_nets);
+    } else {
+      net = ctx.sop(cover, var_nets);
+    }
+    c.netlist.mark_output(net, name);
+    c.covers.push_back(std::move(cover));
+  };
+  for (int b = 0; b < enc.num_state_bits; ++b) {
+    emit(run_minimizer(enc.next_state[b], opts.minimizer),
+         "ns" + std::to_string(b));
+  }
+  for (int b = 0; b < enc.num_outputs; ++b) {
+    emit(run_minimizer(enc.outputs[b], opts.minimizer),
+         "out" + std::to_string(b));
+  }
+  if (opts.optimize) {
+    c.netlist = logic::optimize_netlist(c.netlist);
+  }
+  return c;
+}
+
+FsmCircuit synthesize_fsm(const Fsm& f, EncodingKind kind,
+                          const FsmSynthOptions& opts) {
+  return synthesize_fsm(encode_fsm(f, kind), opts);
+}
+
+}  // namespace ced::fsm

@@ -1,0 +1,76 @@
+#pragma once
+
+#include "fsm/encoded.hpp"
+#include "logic/area.hpp"
+#include "logic/minimize.hpp"
+#include "logic/netlist.hpp"
+#include "logic/synth.hpp"
+
+namespace ced::fsm {
+
+/// Which two-level minimizer to run on each next-state/output function.
+enum class MinimizerKind {
+  kEspresso,  ///< heuristic (default)
+  kExact,     ///< Quine-McCluskey + branch-and-bound (small functions only)
+  kNone,      ///< raw minterm covers (testing/baselines)
+};
+
+struct FsmSynthOptions {
+  MinimizerKind minimizer = MinimizerKind::kEspresso;
+  logic::SynthOptions synth;
+  /// Algebraically factor each minimized cover before mapping (multilevel
+  /// logic instead of flat SOP; much closer to SIS-mapped gate counts).
+  bool factor = true;
+  /// Run the netlist optimizer (constant folding, structural hashing,
+  /// dead-logic sweep) after mapping.
+  bool optimize = true;
+};
+
+/// The synthesized FSM: encoded specification plus the combinational
+/// next-state/output netlist.
+///
+/// Netlist interface contract:
+///   inputs  0..r-1   primary inputs, r..r+s-1 present-state bits;
+///   outputs 0..s-1   next-state bits, s..s+o-1 primary outputs.
+/// The netlist is the *reference implementation*: don't-care choices made
+/// during minimization become the machine's defined behaviour, and the
+/// fault-free netlist is the golden model for all error analysis.
+struct FsmCircuit {
+  EncodedFsm enc;
+  logic::Netlist netlist;
+  /// Minimized cover per observable bit (next-state bits then outputs);
+  /// retained for reporting and for predictor reuse.
+  std::vector<logic::Cover> covers;
+
+  int r() const { return enc.num_inputs; }
+  int s() const { return enc.num_state_bits; }
+  int o() const { return enc.num_outputs; }
+  /// Observable bits n = s + o.
+  int n() const { return enc.num_observable(); }
+
+  std::uint64_t state_mask() const {
+    return (std::uint64_t{1} << s()) - 1;
+  }
+
+  /// Evaluates one transition. Returns the packed observable word:
+  /// bits 0..s-1 = next state code, bits s..n-1 = outputs.
+  std::uint64_t eval(std::uint64_t input, std::uint64_t state_code,
+                     const logic::Injection* injection = nullptr) const {
+    return netlist.eval_single(enc.pack(input, state_code), injection);
+  }
+
+  std::uint64_t next_state_of(std::uint64_t observable) const {
+    return observable & state_mask();
+  }
+};
+
+/// Minimizes every next-state/output function of `enc` and maps the result
+/// onto a shared-literal two-level netlist.
+FsmCircuit synthesize_fsm(const EncodedFsm& enc,
+                          const FsmSynthOptions& opts = {});
+
+/// Convenience: encode + synthesize in one step.
+FsmCircuit synthesize_fsm(const Fsm& f, EncodingKind kind,
+                          const FsmSynthOptions& opts = {});
+
+}  // namespace ced::fsm

@@ -1,0 +1,133 @@
+#include "kiss/kiss.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ced::kiss {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("kiss2 parse error (line " + std::to_string(line) +
+                           "): " + msg);
+}
+
+bool is_pattern(const std::string& s, bool allow_dash) {
+  for (char c : s) {
+    if (c == '0' || c == '1') continue;
+    if (allow_dash && c == '-') continue;
+    return false;
+  }
+  return !s.empty();
+}
+
+}  // namespace
+
+Kiss2 parse(std::string_view text) {
+  Kiss2 k;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  bool saw_i = false;
+  bool saw_o = false;
+  bool ended = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments ('#' to end of line) and surrounding whitespace.
+    if (auto pos = line.find('#'); pos != std::string::npos) {
+      line.erase(pos);
+    }
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank line
+    if (ended) fail(line_no, "content after .e");
+
+    if (tok == ".i") {
+      if (!(ls >> k.num_inputs) || k.num_inputs <= 0) {
+        fail(line_no, "bad .i");
+      }
+      saw_i = true;
+    } else if (tok == ".o") {
+      if (!(ls >> k.num_outputs) || k.num_outputs < 0) {
+        fail(line_no, "bad .o");
+      }
+      saw_o = true;
+    } else if (tok == ".p") {
+      int p = 0;
+      if (!(ls >> p)) fail(line_no, "bad .p");
+      k.declared_terms = p;
+    } else if (tok == ".s") {
+      int s = 0;
+      if (!(ls >> s)) fail(line_no, "bad .s");
+      k.declared_states = s;
+    } else if (tok == ".r") {
+      if (!(ls >> k.reset_state)) fail(line_no, "bad .r");
+    } else if (tok == ".e" || tok == ".end") {
+      ended = true;
+    } else if (tok[0] == '.') {
+      fail(line_no, "unknown directive '" + tok + "'");
+    } else {
+      Transition t;
+      t.input = tok;
+      if (!(ls >> t.current >> t.next >> t.output)) {
+        fail(line_no, "transition needs 4 fields");
+      }
+      if (!saw_i || !saw_o) fail(line_no, ".i/.o must precede transitions");
+      if (!is_pattern(t.input, true) ||
+          static_cast<int>(t.input.size()) != k.num_inputs) {
+        fail(line_no, "bad input cube '" + t.input + "'");
+      }
+      if (!is_pattern(t.output, true) ||
+          static_cast<int>(t.output.size()) != k.num_outputs) {
+        fail(line_no, "bad output pattern '" + t.output + "'");
+      }
+      k.transitions.push_back(std::move(t));
+    }
+  }
+
+  if (!saw_i || !saw_o) throw std::runtime_error("kiss2: missing .i/.o");
+  if (k.transitions.empty()) throw std::runtime_error("kiss2: no transitions");
+
+  std::unordered_set<std::string> states;
+  for (const auto& t : k.transitions) {
+    states.insert(t.current);
+    states.insert(t.next);
+  }
+  if (k.reset_state.empty()) {
+    k.reset_state = k.transitions.front().current;
+  } else if (!states.count(k.reset_state)) {
+    throw std::runtime_error("kiss2: reset state never appears");
+  }
+  if (k.declared_terms &&
+      *k.declared_terms != static_cast<int>(k.transitions.size())) {
+    throw std::runtime_error("kiss2: .p does not match transition count");
+  }
+  if (k.declared_states &&
+      *k.declared_states != static_cast<int>(states.size())) {
+    throw std::runtime_error("kiss2: .s does not match state count");
+  }
+  return k;
+}
+
+std::string write(const Kiss2& k) {
+  std::unordered_set<std::string> states;
+  for (const auto& t : k.transitions) {
+    states.insert(t.current);
+    states.insert(t.next);
+  }
+  std::ostringstream out;
+  out << ".i " << k.num_inputs << '\n';
+  out << ".o " << k.num_outputs << '\n';
+  out << ".p " << k.transitions.size() << '\n';
+  out << ".s " << states.size() << '\n';
+  if (!k.reset_state.empty()) out << ".r " << k.reset_state << '\n';
+  for (const auto& t : k.transitions) {
+    out << t.input << ' ' << t.current << ' ' << t.next << ' ' << t.output
+        << '\n';
+  }
+  out << ".e\n";
+  return out.str();
+}
+
+}  // namespace ced::kiss

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ced::kiss {
+
+/// One symbolic state-transition-graph edge as written in a KISS2 file.
+struct Transition {
+  std::string input;    ///< Input cube: one of '0','1','-' per input bit.
+  std::string current;  ///< Symbolic present-state name.
+  std::string next;     ///< Symbolic next-state name.
+  std::string output;   ///< Output pattern: one of '0','1','-' per output.
+};
+
+/// In-memory form of a KISS2 FSM description (the MCNC benchmark format).
+struct Kiss2 {
+  int num_inputs = 0;                 ///< `.i`
+  int num_outputs = 0;                ///< `.o`
+  std::optional<int> declared_terms;  ///< `.p` (validated if present)
+  std::optional<int> declared_states; ///< `.s` (validated if present)
+  std::string reset_state;            ///< `.r`; defaults to first state seen.
+  std::vector<Transition> transitions;
+};
+
+/// Parses KISS2 text. Throws std::runtime_error with a line-numbered message
+/// on malformed input; validates `.p`/`.s` declarations when present.
+Kiss2 parse(std::string_view text);
+
+/// Serializes back to KISS2 text (including `.p`, `.s`, `.r`).
+std::string write(const Kiss2& k);
+
+}  // namespace ced::kiss

@@ -1,0 +1,107 @@
+#include "logic/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ced::logic {
+
+BitVec::BitVec(std::size_t n, bool value)
+    : size_(n), words_((n + 63) / 64, value ? ~std::uint64_t{0} : 0) {
+  trim();
+}
+
+void BitVec::trim() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+void BitVec::fill(bool value) {
+  for (auto& w : words_) w = value ? ~std::uint64_t{0} : 0;
+  trim();
+}
+
+std::size_t BitVec::count() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool BitVec::any() const {
+  for (auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::subtract(const BitVec& o) {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec r(*this);
+  for (auto& w : r.words_) w = ~w;
+  r.trim();
+  return r;
+}
+
+bool BitVec::intersects(const BitVec& o) const {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & o.words_[i]) return true;
+  }
+  return false;
+}
+
+bool BitVec::is_subset_of(const BitVec& o) const {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~o.words_[i]) return false;
+  }
+  return true;
+}
+
+std::size_t BitVec::find_first() const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return wi * 64 + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    }
+  }
+  return size_;
+}
+
+std::size_t BitVec::find_next(std::size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  std::size_t wi = i >> 6;
+  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (i & 63));
+  while (true) {
+    if (w != 0) {
+      return wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+    }
+    if (++wi == words_.size()) return size_;
+    w = words_[wi];
+  }
+}
+
+}  // namespace ced::logic

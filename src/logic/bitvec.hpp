@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ced::logic {
+
+/// Dynamically sized bit vector backed by 64-bit words.
+///
+/// Used throughout the library for minterm sets (ON/OFF/DC sets of Boolean
+/// functions) and reachability/marking sets. Bits beyond size() are kept
+/// zero as a class invariant so whole-word operations (count, any, subset
+/// tests) need no masking.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Construct a vector of `n` bits, all initialized to `value`.
+  explicit BitVec(std::size_t n, bool value = false);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v = true) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+  void reset(std::size_t i) { set(i, false); }
+
+  /// Set or clear every bit.
+  void fill(bool value);
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+  BitVec& operator^=(const BitVec& o);
+  /// Clears every bit of *this that is set in `o` (set difference).
+  BitVec& subtract(const BitVec& o);
+  /// Bitwise complement within size().
+  BitVec operator~() const;
+
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+  bool operator==(const BitVec& o) const = default;
+
+  /// True if any bit is set in both vectors.
+  bool intersects(const BitVec& o) const;
+  /// True if every set bit of *this is also set in `o`.
+  bool is_subset_of(const BitVec& o) const;
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t find_first() const;
+  /// Index of the first set bit strictly after `i`, or size() if none.
+  std::size_t find_next(std::size_t i) const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void trim();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ced::logic

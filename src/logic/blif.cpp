@@ -1,0 +1,352 @@
+#include "logic/blif.hpp"
+
+#include <bit>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "logic/synth.hpp"
+
+namespace ced::logic {
+namespace {
+
+std::string net_name(std::uint32_t id) { return "n" + std::to_string(id); }
+
+void write_names_block(std::ostringstream& out, const Gate& g,
+                       std::uint32_t id) {
+  const auto in = [&](std::size_t i) { return net_name(g.fanins[i]); };
+  const std::size_t k = g.fanins.size();
+  out << ".names";
+  for (std::size_t i = 0; i < k; ++i) out << ' ' << in(i);
+  out << ' ' << net_name(id) << '\n';
+  switch (g.type) {
+    case GateType::kConst0:
+      break;  // empty cover = constant 0
+    case GateType::kConst1:
+      out << "1\n";
+      break;
+    case GateType::kBuf:
+      out << "1 1\n";
+      break;
+    case GateType::kNot:
+      out << "0 1\n";
+      break;
+    case GateType::kAnd:
+      out << std::string(k, '1') << " 1\n";
+      break;
+    case GateType::kNand:
+      out << std::string(k, '1') << " 0\n";
+      break;
+    case GateType::kOr:
+      for (std::size_t i = 0; i < k; ++i) {
+        std::string row(k, '-');
+        row[i] = '1';
+        out << row << " 1\n";
+      }
+      break;
+    case GateType::kNor:
+      out << std::string(k, '0') << " 1\n";
+      break;
+    case GateType::kXor:
+    case GateType::kXnor: {
+      const bool want = g.type == GateType::kXor;
+      for (std::uint64_t m = 0; m < (std::uint64_t{1} << k); ++m) {
+        if ((std::popcount(m) % 2 == 1) != want) continue;
+        std::string row(k, '0');
+        for (std::size_t i = 0; i < k; ++i) {
+          if ((m >> i) & 1) row[i] = '1';
+        }
+        out << row << " 1\n";
+      }
+      break;
+    }
+    case GateType::kInput:
+      break;
+  }
+}
+
+}  // namespace
+
+std::string write_blif(const Netlist& n, const std::string& model_name) {
+  std::ostringstream out;
+  out << ".model " << model_name << '\n';
+  out << ".inputs";
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    out << ' ' << n.input_name(i);
+  }
+  out << "\n.outputs";
+  for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+    out << ' ' << n.output_name(o);
+  }
+  out << '\n';
+
+  // Alias each primary input's internal net to its name.
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    out << ".names " << n.input_name(i) << ' ' << net_name(n.inputs()[i])
+        << "\n1 1\n";
+  }
+  for (std::uint32_t id = 0; id < n.num_nets(); ++id) {
+    if (n.gate(id).type == GateType::kInput) continue;
+    write_names_block(out, n.gate(id), id);
+  }
+  for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+    out << ".names " << net_name(n.outputs()[o]) << ' ' << n.output_name(o)
+        << "\n1 1\n";
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+namespace {
+
+struct NamesBlock {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> rows;  // input plane + output char (space-split)
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("blif parse error (line " + std::to_string(line) +
+                           "): " + msg);
+}
+
+}  // namespace
+
+Netlist read_blif(std::string_view text) {
+  // --- Tokenize into logical lines (honoring '\' continuations).
+  std::vector<std::pair<int, std::string>> lines;
+  {
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    int no = 0;
+    std::string pending;
+    int pending_no = 0;
+    while (std::getline(in, raw)) {
+      ++no;
+      if (auto pos = raw.find('#'); pos != std::string::npos) raw.erase(pos);
+      while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ')) {
+        raw.pop_back();
+      }
+      if (!raw.empty() && raw.back() == '\\') {
+        raw.pop_back();
+        if (pending.empty()) pending_no = no;
+        pending += raw + " ";
+        continue;
+      }
+      if (!pending.empty()) {
+        lines.emplace_back(pending_no, pending + raw);
+        pending.clear();
+      } else if (!raw.empty()) {
+        lines.emplace_back(no, raw);
+      }
+    }
+  }
+
+  std::vector<std::string> input_names, output_names;
+  std::map<std::string, NamesBlock> blocks;
+  bool saw_model = false;
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    auto [no, line] = lines[li];
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == ".model") {
+      saw_model = true;
+    } else if (tok == ".inputs") {
+      std::string name;
+      while (ls >> name) input_names.push_back(name);
+    } else if (tok == ".outputs") {
+      std::string name;
+      while (ls >> name) output_names.push_back(name);
+    } else if (tok == ".names") {
+      NamesBlock b;
+      b.line = no;
+      std::string name;
+      std::vector<std::string> sig;
+      while (ls >> name) sig.push_back(name);
+      if (sig.empty()) fail(no, ".names needs at least an output");
+      b.output = sig.back();
+      sig.pop_back();
+      b.inputs = std::move(sig);
+      // Consume row lines.
+      while (li + 1 < lines.size() && lines[li + 1].second[0] != '.') {
+        b.rows.push_back(lines[++li].second);
+      }
+      if (blocks.count(b.output)) fail(no, "net driven twice: " + b.output);
+      blocks.emplace(b.output, std::move(b));
+    } else if (tok == ".end") {
+      break;
+    } else if (tok == ".latch" || tok == ".subckt" || tok == ".gate") {
+      fail(no, "unsupported construct: " + tok);
+    } else if (!tok.empty() && tok[0] == '.') {
+      fail(no, "unknown directive: " + tok);
+    } else {
+      fail(no, "row outside .names block");
+    }
+  }
+  if (!saw_model) throw std::runtime_error("blif: missing .model");
+
+  Netlist out;
+  SynthContext ctx(out);
+  std::map<std::string, std::uint32_t> nets;
+  for (const auto& name : input_names) {
+    nets.emplace(name, out.add_input(name));
+  }
+
+  // Recursive elaboration with cycle detection.
+  std::map<std::string, int> visiting;  // 1 = on stack
+  std::function<std::uint32_t(const std::string&)> elaborate =
+      [&](const std::string& name) -> std::uint32_t {
+    auto it = nets.find(name);
+    if (it != nets.end()) return it->second;
+    auto bit = blocks.find(name);
+    if (bit == blocks.end()) {
+      throw std::runtime_error("blif: undriven net: " + name);
+    }
+    if (visiting[name]) {
+      throw std::runtime_error("blif: combinational cycle at " + name);
+    }
+    visiting[name] = 1;
+    const NamesBlock& b = bit->second;
+    std::vector<std::uint32_t> fan;
+    fan.reserve(b.inputs.size());
+    for (const auto& in_name : b.inputs) fan.push_back(elaborate(in_name));
+
+    // Build the SOP cover from the rows.
+    Cover cover(static_cast<int>(b.inputs.size()));
+    bool out_plane_one = true;
+    bool first = true;
+    for (const auto& row : b.rows) {
+      std::istringstream rs(row);
+      std::string plane, oc;
+      if (b.inputs.empty()) {
+        rs >> oc;  // constant block: row is just the output value
+      } else {
+        rs >> plane >> oc;
+      }
+      if (oc != "0" && oc != "1") fail(b.line, "bad row in " + name);
+      const bool one = oc == "1";
+      if (first) {
+        out_plane_one = one;
+        first = false;
+      } else if (one != out_plane_one) {
+        fail(b.line, "mixed output planes in " + name);
+      }
+      if (plane.size() != b.inputs.size()) {
+        fail(b.line, "row width mismatch in " + name);
+      }
+      Cube c;
+      for (std::size_t i = 0; i < plane.size(); ++i) {
+        if (plane[i] == '1') {
+          c = c.with_literal(static_cast<int>(i), true);
+        } else if (plane[i] == '0') {
+          c = c.with_literal(static_cast<int>(i), false);
+        } else if (plane[i] != '-') {
+          fail(b.line, "bad plane character in " + name);
+        }
+      }
+      cover.add(c);
+    }
+
+    std::uint32_t net;
+    if (b.rows.empty()) {
+      net = ctx.constant(false);
+    } else {
+      net = ctx.sop(cover, fan);
+      if (!out_plane_one) net = ctx.inverted(net);
+    }
+    visiting[name] = 0;
+    nets.emplace(name, net);
+    return net;
+  };
+
+  for (const auto& name : output_names) {
+    out.mark_output(elaborate(name), name);
+  }
+  return out;
+}
+
+std::string write_verilog(const Netlist& n, const std::string& module_name) {
+  std::ostringstream out;
+  out << "module " << module_name << "(";
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    out << n.input_name(i) << ", ";
+  }
+  for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+    out << n.output_name(o) << (o + 1 < n.num_outputs() ? ", " : "");
+  }
+  out << ");\n";
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    out << "  input " << n.input_name(i) << ";\n";
+  }
+  for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+    out << "  output " << n.output_name(o) << ";\n";
+  }
+
+  auto ref = [&](std::uint32_t id) { return net_name(id); };
+  for (std::uint32_t id = 0; id < n.num_nets(); ++id) {
+    out << "  wire " << ref(id) << ";\n";
+  }
+  std::size_t next_input = 0;
+  for (std::uint32_t id = 0; id < n.num_nets(); ++id) {
+    const Gate& g = n.gate(id);
+    out << "  assign " << ref(id) << " = ";
+    auto join = [&](const char* op, bool negate) {
+      if (negate) out << "~(";
+      for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+        out << ref(g.fanins[i]);
+        if (i + 1 < g.fanins.size()) out << ' ' << op << ' ';
+      }
+      if (negate) out << ')';
+    };
+    switch (g.type) {
+      case GateType::kInput:
+        out << n.input_name(next_input++);
+        break;
+      case GateType::kConst0:
+        out << "1'b0";
+        break;
+      case GateType::kConst1:
+        out << "1'b1";
+        break;
+      case GateType::kBuf:
+        out << ref(g.fanins[0]);
+        break;
+      case GateType::kNot:
+        out << '~' << ref(g.fanins[0]);
+        break;
+      case GateType::kAnd:
+        join("&", false);
+        break;
+      case GateType::kNand:
+        join("&", true);
+        break;
+      case GateType::kOr:
+        join("|", false);
+        break;
+      case GateType::kNor:
+        join("|", true);
+        break;
+      case GateType::kXor:
+        join("^", false);
+        break;
+      case GateType::kXnor:
+        join("^", true);
+        break;
+    }
+    out << ";\n";
+  }
+  for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+    out << "  assign " << n.output_name(o) << " = " << ref(n.outputs()[o])
+        << ";\n";
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+}  // namespace ced::logic

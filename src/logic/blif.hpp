@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "logic/netlist.hpp"
+
+namespace ced::logic {
+
+/// Serializes a combinational netlist as BLIF (the Berkeley Logic
+/// Interchange Format consumed by SIS/ABC): one `.names` block per gate.
+/// Net names are `n<id>`; primary inputs/outputs keep their netlist names.
+std::string write_blif(const Netlist& n, const std::string& model_name);
+
+/// Parses a combinational BLIF model back into a netlist. Supports
+/// `.model`, `.inputs`, `.outputs`, `.names` (multiple single-output SOP
+/// rows, `0/1/-` input plane, `1` or `0` output plane) and `.end`;
+/// latches and subcircuits are rejected. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Netlist read_blif(std::string_view text);
+
+/// Serializes the netlist as a structural Verilog module (assign-style,
+/// synthesizable). Intended for taking results into conventional flows.
+std::string write_verilog(const Netlist& n, const std::string& module_name);
+
+}  // namespace ced::logic

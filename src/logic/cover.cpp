@@ -1,0 +1,32 @@
+#include "logic/cover.hpp"
+
+namespace ced::logic {
+
+void Cover::remove_contained_cubes() {
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].covers(cubes_[i])) {
+        // Break ties between identical cubes by index so exactly one is kept.
+        if (cubes_[i].covers(cubes_[j]) && i < j) continue;
+        contained = true;
+      }
+    }
+    if (!contained) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+std::string Cover::to_string() const {
+  std::string s;
+  for (const auto& c : cubes_) {
+    s += c.to_string(num_vars_);
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace ced::logic

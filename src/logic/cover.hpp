@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace ced::logic {
+
+/// A sum-of-products (disjunction of cubes) over `num_vars` variables.
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(int num_vars) : num_vars_(num_vars) {}
+  Cover(int num_vars, std::vector<Cube> cubes)
+      : num_vars_(num_vars), cubes_(std::move(cubes)) {}
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  std::vector<Cube>& cubes() { return cubes_; }
+  std::size_t size() const { return cubes_.size(); }
+  bool empty() const { return cubes_.empty(); }
+
+  void add(const Cube& c) { cubes_.push_back(c); }
+
+  /// Evaluates the SOP on one complete assignment.
+  bool evaluate(std::uint64_t assignment) const {
+    for (const auto& c : cubes_) {
+      if (c.contains(assignment)) return true;
+    }
+    return false;
+  }
+
+  /// Total number of literals across all cubes (a standard 2-level cost).
+  int num_literals() const {
+    int n = 0;
+    for (const auto& c : cubes_) n += c.num_literals();
+    return n;
+  }
+
+  /// Removes cubes single-cube-contained in another cube of the cover.
+  void remove_contained_cubes();
+
+  /// PLA-style multi-line text (one cube per line).
+  std::string to_string() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace ced::logic

@@ -1,0 +1,59 @@
+#include "logic/cube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ced::logic {
+
+Cube Cube::minterm(std::uint64_t assignment, int num_vars) {
+  if (num_vars < 0 || num_vars > 64) {
+    throw std::invalid_argument("Cube supports at most 64 variables");
+  }
+  const std::uint64_t mask =
+      num_vars == 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << num_vars) - 1);
+  return Cube{mask, assignment & mask};
+}
+
+int Cube::num_literals() const { return std::popcount(care); }
+
+Cube Cube::with_literal(int var, bool positive) const {
+  Cube r = *this;
+  const std::uint64_t m = std::uint64_t{1} << var;
+  r.care |= m;
+  if (positive) {
+    r.val |= m;
+  } else {
+    r.val &= ~m;
+  }
+  return r;
+}
+
+Cube Cube::without_literal(int var) const {
+  Cube r = *this;
+  const std::uint64_t m = std::uint64_t{1} << var;
+  r.care &= ~m;
+  r.val &= ~m;
+  return r;
+}
+
+std::uint64_t Cube::num_minterms(int num_vars) const {
+  const int free_vars = num_vars - num_literals();
+  return free_vars >= 64 ? 0 : (std::uint64_t{1} << free_vars);
+}
+
+std::string Cube::to_string(int num_vars) const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(num_vars));
+  for (int v = 0; v < num_vars; ++v) {
+    const std::uint64_t m = std::uint64_t{1} << v;
+    if (!(care & m)) {
+      s.push_back('-');
+    } else {
+      s.push_back((val & m) ? '1' : '0');
+    }
+  }
+  return s;
+}
+
+}  // namespace ced::logic

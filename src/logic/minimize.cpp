@@ -1,0 +1,308 @@
+#include "logic/minimize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ced::logic {
+namespace {
+
+/// True if the cube contains no minterm of `off`.
+bool disjoint_from(const Cube& c, int num_vars, const BitVec& off) {
+  bool hit = false;
+  for_each_minterm(c, num_vars, [&](std::uint64_t m) {
+    if (off.test(m)) hit = true;
+  });
+  return !hit;
+}
+
+/// Greedily removes literals from `c` (largest expansion first) while the
+/// cube stays disjoint from the OFF-set.
+Cube expand_cube(Cube c, int num_vars, const BitVec& off) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Try literals in a fixed order; removing one literal doubles the cube,
+    // so any removable literal is an improvement. Re-scan after success so
+    // interactions between literals are re-examined.
+    for (int v = 0; v < num_vars; ++v) {
+      const std::uint64_t m = std::uint64_t{1} << v;
+      if (!(c.care & m)) continue;
+      const Cube wider = c.without_literal(v);
+      if (disjoint_from(wider, num_vars, off)) {
+        c = wider;
+        changed = true;
+      }
+    }
+  }
+  return c;
+}
+
+void mark_minterms(const Cube& c, int num_vars, BitVec& set) {
+  for_each_minterm(c, num_vars, [&](std::uint64_t m) { set.set(m); });
+}
+
+/// Removes cubes whose ON-minterms are fully covered by the other cubes.
+/// Cubes are considered from smallest to largest so that redundant small
+/// cubes vanish first.
+void irredundant(Cover& cover, const SopSpec& spec) {
+  auto& cubes = cover.cubes();
+  std::vector<std::size_t> order(cubes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cubes[a].num_literals() > cubes[b].num_literals();
+  });
+
+  std::vector<bool> removed(cubes.size(), false);
+  for (std::size_t oi : order) {
+    // Is every ON-minterm of cubes[oi] covered by some other kept cube?
+    bool needed = false;
+    for_each_minterm(cubes[oi], spec.num_vars, [&](std::uint64_t m) {
+      if (needed || !spec.on.test(m)) return;
+      for (std::size_t j = 0; j < cubes.size(); ++j) {
+        if (j == oi || removed[j]) continue;
+        if (cubes[j].contains(m)) return;
+      }
+      needed = true;
+    });
+    if (!needed) removed[oi] = true;
+  }
+
+  std::vector<Cube> kept;
+  kept.reserve(cubes.size());
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (!removed[i]) kept.push_back(cubes[i]);
+  }
+  cubes = std::move(kept);
+}
+
+/// Shrinks each cube to the smallest cube containing its ON-minterms that
+/// are not covered by any other cube, giving EXPAND room to move.
+void reduce(Cover& cover, const SopSpec& spec) {
+  auto& cubes = cover.cubes();
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    std::uint64_t and_mask = ~std::uint64_t{0};
+    std::uint64_t or_mask = 0;
+    bool saw = false;
+    for_each_minterm(cubes[i], spec.num_vars, [&](std::uint64_t m) {
+      if (!spec.on.test(m)) return;
+      for (std::size_t j = 0; j < cubes.size(); ++j) {
+        if (j != i && cubes[j].contains(m)) return;
+      }
+      and_mask &= m;
+      or_mask |= m;
+      saw = true;
+    });
+    if (!saw) continue;  // Fully shared cube; leave to IRREDUNDANT.
+    // Smallest enclosing cube of the private ON-minterms.
+    const std::uint64_t var_mask =
+        spec.num_vars == 64 ? ~std::uint64_t{0}
+                            : ((std::uint64_t{1} << spec.num_vars) - 1);
+    Cube shrunk;
+    // A variable stays free only if the private minterms disagree on it.
+    shrunk.care = ~(and_mask ^ or_mask) & var_mask;
+    shrunk.val = and_mask & shrunk.care;
+    cubes[i] = shrunk;
+  }
+}
+
+}  // namespace
+
+Cover cover_from_on_set(const SopSpec& spec) {
+  Cover c(spec.num_vars);
+  for (std::size_t m = spec.on.find_first(); m < spec.on.size();
+       m = spec.on.find_next(m)) {
+    c.add(Cube::minterm(m, spec.num_vars));
+  }
+  return c;
+}
+
+Cover minimize_espresso(const SopSpec& spec, const EspressoOptions& opts) {
+  if (spec.num_vars > TruthTable::kMaxVars) {
+    throw std::invalid_argument("minimize_espresso: too many variables");
+  }
+  const BitVec off = spec.off();
+  Cover cover(spec.num_vars);
+
+  BitVec covered(spec.on.size());
+  for (std::size_t m = spec.on.find_first(); m < spec.on.size();
+       m = spec.on.find_next(m)) {
+    if (covered.test(m)) continue;
+    const Cube c =
+        expand_cube(Cube::minterm(m, spec.num_vars), spec.num_vars, off);
+    mark_minterms(c, spec.num_vars, covered);
+    cover.add(c);
+  }
+
+  if (opts.irredundant) irredundant(cover, spec);
+
+  for (int it = 0; it < opts.refine_iterations; ++it) {
+    const std::size_t before = cover.size();
+    const int lits_before = cover.num_literals();
+    Cover refined = cover;
+    reduce(refined, spec);
+    for (auto& c : refined.cubes()) c = expand_cube(c, spec.num_vars, off);
+    refined.remove_contained_cubes();
+    irredundant(refined, spec);
+    if (refined.size() < before ||
+        (refined.size() == before && refined.num_literals() < lits_before)) {
+      cover = std::move(refined);
+    } else {
+      break;
+    }
+  }
+  return cover;
+}
+
+namespace {
+
+struct CubeKey {
+  bool operator()(const Cube& a, const Cube& b) const {
+    return a.care == b.care && a.val == b.val;
+  }
+};
+
+/// Quine-McCluskey prime implicant generation over ON ∪ DC.
+std::vector<Cube> prime_implicants(const SopSpec& spec) {
+  std::unordered_set<Cube, CubeHash, CubeKey> current;
+  for (std::size_t m = 0; m < spec.on.size(); ++m) {
+    if (spec.on.test(m) || spec.dc.test(m)) {
+      current.insert(Cube::minterm(m, spec.num_vars));
+    }
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::unordered_set<Cube, CubeHash, CubeKey> next;
+    std::unordered_set<Cube, CubeHash, CubeKey> merged;
+    // Group by care mask; two cubes merge when care masks match and values
+    // differ in exactly one cared bit.
+    std::vector<Cube> cubes(current.begin(), current.end());
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_care;
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      by_care[cubes[i].care].push_back(i);
+    }
+    for (const auto& [care, idxs] : by_care) {
+      (void)care;
+      for (std::size_t a = 0; a < idxs.size(); ++a) {
+        for (std::size_t b = a + 1; b < idxs.size(); ++b) {
+          const Cube& x = cubes[idxs[a]];
+          const Cube& y = cubes[idxs[b]];
+          const std::uint64_t diff = (x.val ^ y.val) & x.care;
+          if (std::popcount(diff) == 1) {
+            Cube m{x.care & ~diff, x.val & ~diff & (x.care & ~diff)};
+            m.val = x.val & m.care;
+            next.insert(m);
+            merged.insert(x);
+            merged.insert(y);
+          }
+        }
+      }
+    }
+    for (const auto& c : cubes) {
+      if (!merged.count(c)) primes.push_back(c);
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+/// Branch-and-bound minimum unate cover: rows are ON minterms, columns are
+/// primes. Ties broken toward fewer literals.
+class CoverSolver {
+ public:
+  CoverSolver(const std::vector<Cube>& primes,
+              const std::vector<std::uint64_t>& rows)
+      : primes_(primes), rows_(rows) {
+    row_candidates_.resize(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t p = 0; p < primes.size(); ++p) {
+        if (primes[p].contains(rows[r])) row_candidates_[r].push_back(p);
+      }
+    }
+  }
+
+  std::vector<std::size_t> solve() {
+    best_size_ = std::numeric_limits<std::size_t>::max();
+    std::vector<bool> row_done(rows_.size(), false);
+    std::vector<std::size_t> chosen;
+    recurse(row_done, chosen);
+    return best_;
+  }
+
+ private:
+  void recurse(std::vector<bool>& row_done, std::vector<std::size_t>& chosen) {
+    if (chosen.size() + 1 > best_size_) return;  // bound (need >= 1 more?)
+    // Find the uncovered row with the fewest candidate primes.
+    std::size_t pick = rows_.size();
+    std::size_t pick_deg = std::numeric_limits<std::size_t>::max();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (row_done[r]) continue;
+      if (row_candidates_[r].size() < pick_deg) {
+        pick = r;
+        pick_deg = row_candidates_[r].size();
+      }
+    }
+    if (pick == rows_.size()) {  // everything covered
+      if (chosen.size() < best_size_ ||
+          (chosen.size() == best_size_ &&
+           literal_count(chosen) < literal_count(best_))) {
+        best_ = chosen;
+        best_size_ = chosen.size();
+      }
+      return;
+    }
+    if (chosen.size() + 1 > best_size_) return;
+    for (std::size_t p : row_candidates_[pick]) {
+      std::vector<std::size_t> newly;
+      for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (!row_done[r] && primes_[p].contains(rows_[r])) {
+          row_done[r] = true;
+          newly.push_back(r);
+        }
+      }
+      chosen.push_back(p);
+      recurse(row_done, chosen);
+      chosen.pop_back();
+      for (std::size_t r : newly) row_done[r] = false;
+    }
+  }
+
+  int literal_count(const std::vector<std::size_t>& sel) const {
+    int n = 0;
+    for (std::size_t p : sel) n += primes_[p].num_literals();
+    return n;
+  }
+
+  const std::vector<Cube>& primes_;
+  const std::vector<std::uint64_t>& rows_;
+  std::vector<std::vector<std::size_t>> row_candidates_;
+  std::vector<std::size_t> best_;
+  std::size_t best_size_ = 0;
+};
+
+}  // namespace
+
+Cover minimize_exact(const SopSpec& spec) {
+  if (spec.num_vars > 14) {
+    throw std::invalid_argument("minimize_exact: too many variables");
+  }
+  std::vector<Cube> primes = prime_implicants(spec);
+  std::vector<std::uint64_t> rows;
+  for (std::size_t m = spec.on.find_first(); m < spec.on.size();
+       m = spec.on.find_next(m)) {
+    rows.push_back(m);
+  }
+  if (rows.empty()) return Cover(spec.num_vars);
+  CoverSolver solver(primes, rows);
+  Cover result(spec.num_vars);
+  for (std::size_t p : solver.solve()) result.add(primes[p]);
+  return result;
+}
+
+}  // namespace ced::logic

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ced::lp {
+
+/// Relation of one linear constraint.
+enum class Relation { kLe, kGe, kEq };
+
+enum class Objective { kMinimize, kMaximize };
+
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A linear program over bounded variables:
+///   optimize  c'x   s.t.  each constraint,  l <= x <= u.
+///
+/// Built incrementally; solved by `solve` (dense two-phase primal simplex
+/// with upper-bounded variables and Bland anti-cycling).
+class LpProblem {
+ public:
+  /// Adds a variable with bounds [lower, upper]; returns its index.
+  int add_variable(double lower, double upper, double objective = 0.0);
+
+  /// Adds a constraint sum(coeff * var) rel rhs. Terms may repeat a
+  /// variable; coefficients are accumulated.
+  void add_constraint(std::vector<std::pair<int, double>> terms, Relation rel,
+                      double rhs);
+
+  void set_objective_sense(Objective sense) { sense_ = sense; }
+
+  int num_variables() const { return static_cast<int>(lower_.size()); }
+  int num_constraints() const { return static_cast<int>(rhs_.size()); }
+
+  // Internal accessors used by the solver.
+  const std::vector<double>& lower() const { return lower_; }
+  const std::vector<double>& upper() const { return upper_; }
+  const std::vector<double>& objective() const { return obj_; }
+  Objective sense() const { return sense_; }
+  const std::vector<std::vector<std::pair<int, double>>>& rows() const {
+    return rows_;
+  }
+  const std::vector<Relation>& relations() const { return rels_; }
+  const std::vector<double>& rhs() const { return rhs_; }
+
+ private:
+  std::vector<double> lower_, upper_, obj_;
+  std::vector<std::vector<std::pair<int, double>>> rows_;
+  std::vector<Relation> rels_;
+  std::vector<double> rhs_;
+  Objective sense_ = Objective::kMinimize;
+};
+
+struct SolverOptions {
+  int max_iterations = 200000;
+  double eps = 1e-9;
+};
+
+struct LpResult {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  /// Values of the problem variables (size = num_variables()) when
+  /// status is kOptimal.
+  std::vector<double> x;
+};
+
+/// Solves the LP. Deterministic.
+LpResult solve(const LpProblem& p, const SolverOptions& opts = {});
+
+}  // namespace ced::lp

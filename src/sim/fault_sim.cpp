@@ -1,0 +1,100 @@
+#include "sim/fault_sim.hpp"
+
+#include <algorithm>
+
+namespace ced::sim {
+
+std::vector<std::uint64_t> simulate_all_inputs(
+    const fsm::FsmCircuit& c, std::uint64_t state_code,
+    const logic::Injection* injection) {
+  const int r = c.r();
+  const int s = c.s();
+  const int n = c.n();
+  const std::uint64_t num_inputs = std::uint64_t{1} << r;
+  std::vector<std::uint64_t> result(num_inputs, 0);
+
+  const auto& nl = c.netlist;
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(r + s), 0);
+  std::vector<std::uint64_t> values;
+
+  // Pattern t of a batch starting at `base` is input value base + t.
+  // Input bit i < 6 alternates inside the word with period 2^i; bits >= 6
+  // are constant within one batch.
+  static constexpr std::uint64_t kStripe[6] = {
+      0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+      0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+  for (int b = 0; b < s; ++b) {
+    words[static_cast<std::size_t>(r + b)] =
+        ((state_code >> b) & 1) ? ~std::uint64_t{0} : 0;
+  }
+
+  const std::uint64_t batch_count = (num_inputs + 63) / 64;
+  for (std::uint64_t batch = 0; batch < batch_count; ++batch) {
+    const std::uint64_t base = batch * 64;
+    const std::uint64_t in_batch = std::min<std::uint64_t>(64, num_inputs - base);
+    for (int i = 0; i < r; ++i) {
+      if (i < 6) {
+        words[static_cast<std::size_t>(i)] = kStripe[i];
+      } else {
+        words[static_cast<std::size_t>(i)] =
+            ((base >> i) & 1) ? ~std::uint64_t{0} : 0;
+      }
+    }
+    nl.eval(words, values, injection);
+    for (std::uint64_t t = 0; t < in_batch; ++t) {
+      std::uint64_t obs = 0;
+      for (int o = 0; o < n; ++o) {
+        obs |= ((values[nl.outputs()[static_cast<std::size_t>(o)]] >> t) & 1)
+               << o;
+      }
+      result[base + t] = obs;
+    }
+  }
+  return result;
+}
+
+const std::vector<std::uint64_t>& GoldenCache::rows(std::uint64_t state_code) {
+  auto it = cache_.find(state_code);
+  if (it == cache_.end()) {
+    it = cache_.emplace(state_code, simulate_all_inputs(circuit_, state_code))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<std::uint64_t>& FaultyCache::rows(std::uint64_t state_code) {
+  auto it = cache_.find(state_code);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(state_code,
+                      simulate_all_inputs(circuit_, state_code, &injection_))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<std::uint64_t> reachable_codes(const fsm::FsmCircuit& c,
+                                           std::uint64_t reset_code) {
+  GoldenCache golden(c);
+  std::vector<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, bool> seen;
+  std::vector<std::uint64_t> stack{reset_code};
+  seen[reset_code] = true;
+  while (!stack.empty()) {
+    const std::uint64_t code = stack.back();
+    stack.pop_back();
+    order.push_back(code);
+    for (std::uint64_t obs : golden.rows(code)) {
+      const std::uint64_t next = c.next_state_of(obs);
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace ced::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fsm/synthesize.hpp"
+#include "sim/faults.hpp"
+
+namespace ced::sim {
+
+/// Computes the packed observable word (next-state bits then outputs) of one
+/// FSM transition for every concrete input value 0 .. 2^r - 1, starting from
+/// `state_code`, optionally with a fault injected. 64 inputs are evaluated
+/// per netlist pass.
+std::vector<std::uint64_t> simulate_all_inputs(
+    const fsm::FsmCircuit& c, std::uint64_t state_code,
+    const logic::Injection* injection = nullptr);
+
+/// Lazy cache of fault-free transition responses keyed by present-state
+/// code. The fault-free circuit is the golden model for all error analysis,
+/// so these rows are shared across every fault.
+class GoldenCache {
+ public:
+  explicit GoldenCache(const fsm::FsmCircuit& c) : circuit_(c) {}
+
+  const std::vector<std::uint64_t>& rows(std::uint64_t state_code);
+  const fsm::FsmCircuit& circuit() const { return circuit_; }
+
+ private:
+  const fsm::FsmCircuit& circuit_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> cache_;
+};
+
+/// Per-fault memo of faulty transition responses keyed by state code.
+class FaultyCache {
+ public:
+  FaultyCache(const fsm::FsmCircuit& c, const StuckAtFault& f)
+      : circuit_(c), injection_(f.injection()) {}
+
+  const std::vector<std::uint64_t>& rows(std::uint64_t state_code);
+
+ private:
+  const fsm::FsmCircuit& circuit_;
+  logic::Injection injection_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> cache_;
+};
+
+/// State codes reachable in the fault-free circuit from `reset_code` under
+/// every input sequence (BFS over all concrete inputs).
+std::vector<std::uint64_t> reachable_codes(const fsm::FsmCircuit& c,
+                                           std::uint64_t reset_code);
+
+}  // namespace ced::sim

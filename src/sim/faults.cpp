@@ -1,0 +1,59 @@
+#include "sim/faults.hpp"
+
+#include <array>
+
+namespace ced::sim {
+
+std::vector<StuckAtFault> enumerate_stuck_at(const logic::Netlist& n,
+                                             const FaultListOptions& opts) {
+  using logic::GateType;
+  const std::size_t nets = n.num_nets();
+
+  std::vector<int> fanout(nets, 0);
+  for (std::uint32_t id = 0; id < nets; ++id) {
+    for (auto f : n.gate(id).fanins) ++fanout[f];
+  }
+  for (auto out : n.outputs()) {
+    ++fanout[out];  // primary outputs are observed, acting as extra fanout
+  }
+
+  // drop[net][v] = fault (net, v) is equivalent to a fault we keep elsewhere.
+  std::vector<std::array<bool, 2>> drop(nets, {false, false});
+  if (opts.collapse) {
+    for (std::uint32_t id = 0; id < nets; ++id) {
+      const logic::Gate& g = n.gate(id);
+      for (auto a : g.fanins) {
+        if (fanout[a] != 1) continue;
+        switch (g.type) {
+          case GateType::kBuf:
+          case GateType::kNot:
+            // Input faults map 1:1 onto output faults.
+            drop[a][0] = drop[a][1] = true;
+            break;
+          case GateType::kAnd:
+          case GateType::kNand:
+            drop[a][0] = true;  // controlling value 0 == output fault
+            break;
+          case GateType::kOr:
+          case GateType::kNor:
+            drop[a][1] = true;  // controlling value 1 == output fault
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  std::vector<StuckAtFault> faults;
+  faults.reserve(2 * nets);
+  for (std::uint32_t id = 0; id < nets; ++id) {
+    const GateType t = n.gate(id).type;
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    if (!drop[id][0]) faults.push_back(StuckAtFault{id, false});
+    if (!drop[id][1]) faults.push_back(StuckAtFault{id, true});
+  }
+  return faults;
+}
+
+}  // namespace ced::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/netlist.hpp"
+
+namespace ced::sim {
+
+/// A single stuck-at fault on one net of a netlist.
+struct StuckAtFault {
+  std::uint32_t net = 0;
+  bool stuck_value = false;
+
+  logic::Injection injection() const {
+    return logic::Injection{net, stuck_value ? ~std::uint64_t{0} : 0};
+  }
+
+  std::string to_string() const {
+    return "net" + std::to_string(net) + (stuck_value ? "/SA1" : "/SA0");
+  }
+
+  bool operator==(const StuckAtFault&) const = default;
+};
+
+/// Options controlling fault list generation.
+struct FaultListOptions {
+  /// Apply cheap structural equivalence collapsing (buffer chains, and the
+  /// controlled-value equivalence between a single-fanout gate-output net
+  /// and its driving gate).
+  bool collapse = true;
+};
+
+/// Enumerates stuck-at-0/1 faults on every net of `n` except constants.
+/// With collapsing enabled, faults provably equivalent to an already-listed
+/// fault are dropped (the returned list still dominates full coverage).
+std::vector<StuckAtFault> enumerate_stuck_at(const logic::Netlist& n,
+                                             const FaultListOptions& opts = {});
+
+}  // namespace ced::sim

@@ -1,0 +1,161 @@
+#include "benchdata/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/generator.hpp"
+#include "benchdata/handwritten.hpp"
+#include "fsm/analysis.hpp"
+#include "kiss/kiss.hpp"
+
+namespace ced::benchdata {
+namespace {
+
+TEST(Handwritten, AllParseAndAreDeterministic) {
+  for (const auto& e : handwritten_fsms()) {
+    const fsm::Fsm f = fsm::Fsm::from_kiss(kiss::parse(e.kiss));
+    EXPECT_GE(f.num_states(), 2) << e.name;
+    EXPECT_TRUE(f.is_complete()) << e.name;
+    const auto reach = f.reachable_states();
+    for (int s = 0; s < f.num_states(); ++s) {
+      EXPECT_TRUE(reach[static_cast<std::size_t>(s)])
+          << e.name << " state " << f.state_name(s);
+    }
+  }
+}
+
+TEST(Handwritten, UnknownNameThrows) {
+  EXPECT_THROW(handwritten_kiss("nope"), std::invalid_argument);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.inputs = 3;
+  spec.states = 9;
+  spec.outputs = 4;
+  spec.seed = 77;
+  EXPECT_EQ(generate_kiss(spec), generate_kiss(spec));
+  SyntheticSpec other = spec;
+  other.seed = 78;
+  EXPECT_NE(generate_kiss(spec), generate_kiss(other));
+}
+
+TEST(Generator, ProducesCompleteDeterministicMachines) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    SyntheticSpec spec;
+    spec.inputs = 4;
+    spec.states = 11;
+    spec.outputs = 3;
+    spec.branches = 5;
+    spec.seed = seed;
+    const fsm::Fsm f = generate_fsm(spec);
+    EXPECT_EQ(f.num_states(), 11);
+    EXPECT_TRUE(f.is_complete());
+  }
+}
+
+TEST(Generator, AllStatesReachable) {
+  SyntheticSpec spec;
+  spec.inputs = 2;
+  spec.states = 30;
+  spec.outputs = 2;
+  spec.seed = 5;
+  const fsm::Fsm f = generate_fsm(spec);
+  const auto reach = f.reachable_states();
+  for (int s = 0; s < f.num_states(); ++s) {
+    EXPECT_TRUE(reach[static_cast<std::size_t>(s)]);
+  }
+}
+
+TEST(Generator, SelfLoopBiasShapesStructure) {
+  SyntheticSpec loopy;
+  loopy.inputs = 3;
+  loopy.states = 20;
+  loopy.outputs = 2;
+  loopy.branches = 6;
+  loopy.self_loop_bias = 0.6;
+  loopy.seed = 9;
+  SyntheticSpec sparse = loopy;
+  sparse.self_loop_bias = 0.02;
+  const auto st_loopy = fsm::analyze_stg(generate_fsm(loopy));
+  const auto st_sparse = fsm::analyze_stg(generate_fsm(sparse));
+  EXPECT_GT(st_loopy.num_self_loops, st_sparse.num_self_loops);
+}
+
+TEST(Generator, BranchesClampToInputSpace) {
+  SyntheticSpec spec;
+  spec.inputs = 2;
+  spec.states = 4;
+  spec.outputs = 1;
+  spec.branches = 100;  // > 2^2
+  const fsm::Fsm f = generate_fsm(spec);
+  for (int s = 0; s < f.num_states(); ++s) {
+    EXPECT_LE(f.edges_from(s).size(), 4u);
+  }
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.inputs = 0;
+  EXPECT_THROW(generate_kiss(spec), std::invalid_argument);
+  spec.inputs = 2;
+  spec.states = 1;
+  EXPECT_THROW(generate_kiss(spec), std::invalid_argument);
+}
+
+TEST(Suite, HasAllSixteenTable1Circuits) {
+  const auto& suite = mcnc_suite();
+  EXPECT_EQ(suite.size(), 16u);
+  for (const char* name :
+       {"cse", "donfile", "dk14", "dk16", "ex1", "keyb", "pma", "sse", "styr",
+        "s27", "s298", "s386", "s1488", "tav", "tbk", "tma"}) {
+    bool found = false;
+    for (const auto& e : suite) {
+      if (e.name == name) found = true;
+    }
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(Suite, ProfilesMatchPublishedInterfaces) {
+  // Spot-check the published LGSynth'91 interface widths.
+  for (const auto& e : mcnc_suite()) {
+    if (e.name == "cse") {
+      EXPECT_EQ(e.spec.inputs, 7);
+      EXPECT_EQ(e.spec.states, 16);
+      EXPECT_EQ(e.spec.outputs, 7);
+    } else if (e.name == "styr") {
+      EXPECT_EQ(e.spec.inputs, 9);
+      EXPECT_EQ(e.spec.states, 30);
+      EXPECT_EQ(e.spec.outputs, 10);
+    } else if (e.name == "s27") {
+      EXPECT_EQ(e.spec.inputs, 4);
+      EXPECT_EQ(e.spec.states, 6);
+      EXPECT_EQ(e.spec.outputs, 1);
+    }
+  }
+}
+
+TEST(Suite, SmallSuiteBuildsQuickly) {
+  for (const auto& name : small_suite_names()) {
+    const fsm::Fsm f = suite_fsm(name);
+    EXPECT_GE(f.num_states(), 2) << name;
+  }
+}
+
+TEST(Suite, LoopyProfilesAreLoopy) {
+  // §5: donfile/s27/s386 saturate early because of self-loops.
+  const auto loopy = fsm::analyze_stg(suite_fsm("donfile"));
+  const auto sparse = fsm::analyze_stg(suite_fsm("pma"));
+  const double loopy_rate =
+      static_cast<double>(loopy.states_with_self_loop) / loopy.num_states;
+  const double sparse_rate =
+      static_cast<double>(sparse.states_with_self_loop) / sparse.num_states;
+  EXPECT_GT(loopy_rate, sparse_rate);
+}
+
+TEST(Suite, UnknownCircuitThrows) {
+  EXPECT_THROW(suite_fsm("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ced::benchdata

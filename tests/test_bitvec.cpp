@@ -1,0 +1,124 @@
+#include "logic/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ced::logic {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, ConstructAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVec, ConstructAllOne) {
+  BitVec v(130, true);
+  EXPECT_EQ(v.count(), 130u);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(129));
+}
+
+TEST(BitVec, SetResetTest) {
+  BitVec v(100);
+  v.set(3);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(3));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_FALSE(v.test(4));
+  EXPECT_EQ(v.count(), 3u);
+  v.reset(64);
+  EXPECT_FALSE(v.test(64));
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVec, ComplementRespectsSize) {
+  BitVec v(70);
+  v.set(0);
+  BitVec c = ~v;
+  EXPECT_EQ(c.count(), 69u);
+  EXPECT_FALSE(c.test(0));
+  EXPECT_TRUE(c.test(69));
+  // Padding bits must stay zero: complementing twice round-trips.
+  EXPECT_EQ(~c, v);
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(80), b(80);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(2);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+  BitVec d = a;
+  d.subtract(b);
+  EXPECT_TRUE(d.test(1));
+  EXPECT_FALSE(d.test(70));
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(10), b(11);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW((void)a.intersects(b), std::invalid_argument);
+}
+
+TEST(BitVec, SubsetAndIntersect) {
+  BitVec a(128), b(128);
+  a.set(5);
+  a.set(100);
+  b.set(5);
+  b.set(100);
+  b.set(7);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  BitVec c(128);
+  c.set(6);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(BitVec, FindFirstNext) {
+  BitVec v(200);
+  EXPECT_EQ(v.find_first(), 200u);
+  v.set(63);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 63u);
+  EXPECT_EQ(v.find_next(63), 64u);
+  EXPECT_EQ(v.find_next(64), 199u);
+  EXPECT_EQ(v.find_next(199), 200u);
+}
+
+TEST(BitVec, IterationMatchesCount) {
+  BitVec v(333);
+  for (std::size_t i = 0; i < 333; i += 7) v.set(i);
+  std::size_t seen = 0;
+  for (std::size_t i = v.find_first(); i < v.size(); i = v.find_next(i)) {
+    EXPECT_EQ(i % 7, 0u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, v.count());
+}
+
+TEST(BitVec, Fill) {
+  BitVec v(77);
+  v.fill(true);
+  EXPECT_EQ(v.count(), 77u);
+  v.fill(false);
+  EXPECT_TRUE(v.none());
+}
+
+}  // namespace
+}  // namespace ced::logic

@@ -1,0 +1,151 @@
+#include "logic/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/handwritten.hpp"
+#include "core/rng.hpp"
+#include "fsm/synthesize.hpp"
+#include "kiss/kiss.hpp"
+#include "logic/synth.hpp"
+
+namespace ced::logic {
+namespace {
+
+Netlist random_netlist(std::uint64_t seed, int inputs, int gates) {
+  ced::core::Rng rng(seed);
+  Netlist n;
+  std::vector<std::uint32_t> nets;
+  for (int i = 0; i < inputs; ++i) {
+    nets.push_back(n.add_input("pi" + std::to_string(i)));
+  }
+  nets.push_back(n.add_const(false));
+  nets.push_back(n.add_const(true));
+  for (int g = 0; g < gates; ++g) {
+    const GateType t = static_cast<GateType>(3 + rng.next() % 8);
+    const int fanin = (t == GateType::kBuf || t == GateType::kNot)
+                          ? 1
+                          : 1 + static_cast<int>(rng.next() % 3);
+    std::vector<std::uint32_t> fi;
+    for (int k = 0; k < fanin; ++k) fi.push_back(nets[rng.next() % nets.size()]);
+    nets.push_back(n.add_gate(t, fi));
+  }
+  n.mark_output(nets.back(), "po0");
+  n.mark_output(nets[nets.size() / 2], "po1");
+  return n;
+}
+
+void expect_equivalent(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.num_outputs(), b.num_outputs());
+  const std::uint64_t space = std::uint64_t{1} << a.num_inputs();
+  for (std::uint64_t v = 0; v < space; ++v) {
+    ASSERT_EQ(a.eval_single(v), b.eval_single(v)) << v;
+  }
+}
+
+class BlifRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlifRoundTrip, RandomNetlistsSurvive) {
+  const Netlist n = random_netlist(GetParam(), 5, 30);
+  const Netlist back = read_blif(write_blif(n, "rt"));
+  expect_equivalent(n, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlifRoundTrip,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+TEST(Blif, FsmCircuitRoundTrips) {
+  const fsm::Fsm f = fsm::Fsm::from_kiss(
+      kiss::parse(benchdata::handwritten_kiss("vending")));
+  const fsm::FsmCircuit c =
+      fsm::synthesize_fsm(f, fsm::EncodingKind::kBinary, {});
+  const Netlist back = read_blif(write_blif(c.netlist, "vending"));
+  expect_equivalent(c.netlist, back);
+}
+
+TEST(Blif, ReadsHandWrittenText) {
+  const char* text = R"(.model adder
+# half adder
+.inputs a b
+.outputs sum carry
+.names a b sum
+01 1
+10 1
+.names a b carry
+11 1
+.end
+)";
+  const Netlist n = read_blif(text);
+  ASSERT_EQ(n.num_inputs(), 2u);
+  ASSERT_EQ(n.num_outputs(), 2u);
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    const bool a = v & 1, b = v & 2;
+    const std::uint64_t out = n.eval_single(v);
+    EXPECT_EQ(out & 1, static_cast<std::uint64_t>(a != b));
+    EXPECT_EQ((out >> 1) & 1, static_cast<std::uint64_t>(a && b));
+  }
+}
+
+TEST(Blif, OutputPlaneZeroMeansComplement) {
+  const char* text = R"(.model inv
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)";
+  const Netlist n = read_blif(text);  // f = NAND(a, b)
+  EXPECT_EQ(n.eval_single(0b11) & 1, 0u);
+  EXPECT_EQ(n.eval_single(0b01) & 1, 1u);
+}
+
+TEST(Blif, BlocksMayAppearOutOfOrder) {
+  const char* text = R"(.model ooo
+.inputs a
+.outputs f
+.names t f
+1 1
+.names a t
+0 1
+.end
+)";
+  const Netlist n = read_blif(text);
+  EXPECT_EQ(n.eval_single(0) & 1, 1u);
+  EXPECT_EQ(n.eval_single(1) & 1, 0u);
+}
+
+TEST(Blif, RejectsBrokenInput) {
+  EXPECT_THROW(read_blif(".inputs a\n.outputs f\n.names a f\n1 1\n.end\n"),
+               std::runtime_error);  // missing .model
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs f\n.end\n"),
+               std::runtime_error);  // f undriven
+  EXPECT_THROW(
+      read_blif(".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n"),
+      std::runtime_error);  // sequential constructs unsupported
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs f\n"
+                         ".names f g\n1 1\n.names g f\n1 1\n.end\n"),
+               std::runtime_error);  // combinational cycle
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs f\n"
+                         ".names a f\n1 1\n10 1\n.end\n"),
+               std::runtime_error);  // row width mismatch
+}
+
+TEST(Verilog, MentionsEveryInterfaceName) {
+  const fsm::Fsm f =
+      fsm::Fsm::from_kiss(kiss::parse(benchdata::handwritten_kiss("traffic")));
+  const fsm::FsmCircuit c =
+      fsm::synthesize_fsm(f, fsm::EncodingKind::kBinary, {});
+  const std::string v = write_verilog(c.netlist, "traffic");
+  EXPECT_NE(v.find("module traffic("), std::string::npos);
+  for (std::size_t i = 0; i < c.netlist.num_inputs(); ++i) {
+    EXPECT_NE(v.find("input " + c.netlist.input_name(i)), std::string::npos);
+  }
+  for (std::size_t o = 0; o < c.netlist.num_outputs(); ++o) {
+    EXPECT_NE(v.find("output " + c.netlist.output_name(o)),
+              std::string::npos);
+  }
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ced::logic

@@ -1,0 +1,111 @@
+#include "logic/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "logic/cover.hpp"
+
+namespace ced::logic {
+namespace {
+
+TEST(Cube, UniverseContainsEverything) {
+  const Cube u = Cube::universe();
+  EXPECT_EQ(u.num_literals(), 0);
+  for (std::uint64_t a = 0; a < 16; ++a) EXPECT_TRUE(u.contains(a));
+}
+
+TEST(Cube, MintermContainsOnlyItself) {
+  const Cube m = Cube::minterm(0b101, 3);
+  EXPECT_EQ(m.num_literals(), 3);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(m.contains(a), a == 0b101u);
+  }
+}
+
+TEST(Cube, WithWithoutLiteral) {
+  Cube c = Cube::universe().with_literal(2, true).with_literal(0, false);
+  EXPECT_EQ(c.to_string(4), "0-1-");
+  EXPECT_TRUE(c.contains(0b0100));
+  EXPECT_TRUE(c.contains(0b1100));
+  EXPECT_FALSE(c.contains(0b0101));
+  EXPECT_FALSE(c.contains(0b0000));
+  c = c.without_literal(0);
+  EXPECT_EQ(c.to_string(4), "--1-");
+  EXPECT_TRUE(c.contains(0b0101));
+}
+
+TEST(Cube, CoversIsSetContainment) {
+  const Cube big = Cube::universe().with_literal(1, true);   // -1-
+  const Cube small = big.with_literal(0, false);             // 01
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+  EXPECT_TRUE(big.covers(big));
+}
+
+TEST(Cube, IntersectionSemantics) {
+  const Cube a = Cube::universe().with_literal(0, true);  // x0
+  const Cube b = Cube::universe().with_literal(1, true);  // x1
+  EXPECT_TRUE(a.intersects(b));
+  const Cube i = a.intersection(b);
+  EXPECT_TRUE(i.contains(0b11));
+  EXPECT_FALSE(i.contains(0b01));
+  const Cube c = Cube::universe().with_literal(0, false);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Cube, NumMinterms) {
+  EXPECT_EQ(Cube::universe().num_minterms(4), 16u);
+  EXPECT_EQ(Cube::minterm(3, 4).num_minterms(4), 1u);
+  EXPECT_EQ(Cube::universe().with_literal(0, true).num_minterms(4), 8u);
+}
+
+TEST(Cube, ForEachMintermEnumeratesExactlyTheCube) {
+  const Cube c = Cube::universe().with_literal(1, true).with_literal(3, false);
+  std::set<std::uint64_t> seen;
+  for_each_minterm(c, 5, [&](std::uint64_t m) { seen.insert(m); });
+  EXPECT_EQ(seen.size(), c.num_minterms(5));
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    EXPECT_EQ(seen.count(a) == 1, c.contains(a)) << a;
+  }
+}
+
+TEST(Cube, ForEachMintermOfMinterm) {
+  int count = 0;
+  for_each_minterm(Cube::minterm(7, 3), 3, [&](std::uint64_t m) {
+    EXPECT_EQ(m, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Cover, EvaluateAndLiterals) {
+  Cover c(3);
+  c.add(Cube::universe().with_literal(0, true).with_literal(1, true));  // ab
+  c.add(Cube::universe().with_literal(2, true));                        // c
+  EXPECT_EQ(c.num_literals(), 3);
+  EXPECT_TRUE(c.evaluate(0b011));
+  EXPECT_TRUE(c.evaluate(0b100));
+  EXPECT_FALSE(c.evaluate(0b001));
+  EXPECT_FALSE(c.evaluate(0b000));
+}
+
+TEST(Cover, RemoveContainedCubes) {
+  Cover c(3);
+  const Cube big = Cube::universe().with_literal(0, true);
+  c.add(big.with_literal(1, true));  // contained in big
+  c.add(big);
+  c.add(big);  // duplicate: exactly one copy survives
+  c.remove_contained_cubes();
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.cubes()[0], big);
+}
+
+TEST(Cube, ToStringRoundsTrip) {
+  const Cube c =
+      Cube::universe().with_literal(0, true).with_literal(3, false);
+  EXPECT_EQ(c.to_string(5), "1--0-");
+}
+
+}  // namespace
+}  // namespace ced::logic

@@ -1,0 +1,95 @@
+#include "kiss/kiss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/handwritten.hpp"
+
+namespace ced::kiss {
+namespace {
+
+const char* kSimple = R"(# a comment
+.i 2
+.o 1
+.p 3
+.s 2
+.r A
+0- A A 0
+1- A B 1
+-- B A -
+.e
+)";
+
+TEST(KissParse, ParsesDirectivesAndTransitions) {
+  const Kiss2 k = parse(kSimple);
+  EXPECT_EQ(k.num_inputs, 2);
+  EXPECT_EQ(k.num_outputs, 1);
+  EXPECT_EQ(k.declared_terms, 3);
+  EXPECT_EQ(k.declared_states, 2);
+  EXPECT_EQ(k.reset_state, "A");
+  ASSERT_EQ(k.transitions.size(), 3u);
+  EXPECT_EQ(k.transitions[0].input, "0-");
+  EXPECT_EQ(k.transitions[1].next, "B");
+  EXPECT_EQ(k.transitions[2].output, "-");
+}
+
+TEST(KissParse, DefaultsResetToFirstState) {
+  const Kiss2 k = parse(".i 1\n.o 1\n0 X Y 1\n1 Y X 0\n.e\n");
+  EXPECT_EQ(k.reset_state, "X");
+}
+
+TEST(KissParse, RejectsBadInputWidth) {
+  EXPECT_THROW(parse(".i 2\n.o 1\n0 A A 1\n.e\n"), std::runtime_error);
+}
+
+TEST(KissParse, RejectsBadOutputPattern) {
+  EXPECT_THROW(parse(".i 1\n.o 2\n0 A A 1x\n.e\n"), std::runtime_error);
+}
+
+TEST(KissParse, RejectsMissingHeader) {
+  EXPECT_THROW(parse("0 A A 1\n.e\n"), std::runtime_error);
+}
+
+TEST(KissParse, RejectsWrongDeclaredCounts) {
+  EXPECT_THROW(parse(".i 1\n.o 1\n.p 5\n0 A A 1\n.e\n"), std::runtime_error);
+  EXPECT_THROW(parse(".i 1\n.o 1\n.s 5\n0 A A 1\n.e\n"), std::runtime_error);
+}
+
+TEST(KissParse, RejectsUnknownResetState) {
+  EXPECT_THROW(parse(".i 1\n.o 1\n.r Z\n0 A A 1\n.e\n"), std::runtime_error);
+}
+
+TEST(KissParse, RejectsUnknownDirective) {
+  EXPECT_THROW(parse(".i 1\n.o 1\n.bogus\n0 A A 1\n.e\n"), std::runtime_error);
+}
+
+TEST(KissParse, RejectsContentAfterEnd) {
+  EXPECT_THROW(parse(".i 1\n.o 1\n0 A A 1\n.e\n0 A A 1\n"),
+               std::runtime_error);
+}
+
+TEST(KissWrite, RoundTripsThroughParser) {
+  const Kiss2 k = parse(kSimple);
+  const Kiss2 k2 = parse(write(k));
+  EXPECT_EQ(k2.num_inputs, k.num_inputs);
+  EXPECT_EQ(k2.num_outputs, k.num_outputs);
+  EXPECT_EQ(k2.reset_state, k.reset_state);
+  ASSERT_EQ(k2.transitions.size(), k.transitions.size());
+  for (std::size_t i = 0; i < k.transitions.size(); ++i) {
+    EXPECT_EQ(k2.transitions[i].input, k.transitions[i].input);
+    EXPECT_EQ(k2.transitions[i].current, k.transitions[i].current);
+    EXPECT_EQ(k2.transitions[i].next, k.transitions[i].next);
+    EXPECT_EQ(k2.transitions[i].output, k.transitions[i].output);
+  }
+}
+
+TEST(KissWrite, AllHandwrittenFsmsRoundTrip) {
+  for (const auto& e : benchdata::handwritten_fsms()) {
+    const Kiss2 k = parse(e.kiss);
+    const Kiss2 k2 = parse(write(k));
+    EXPECT_EQ(k2.transitions.size(), k.transitions.size()) << e.name;
+    EXPECT_EQ(k2.reset_state, k.reset_state) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace ced::kiss

@@ -1,0 +1,165 @@
+#include "logic/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "logic/truth_table.hpp"
+
+namespace ced::logic {
+namespace {
+
+SopSpec random_spec(int vars, double on_density, double dc_density,
+                    std::uint64_t seed) {
+  SopSpec s(vars);
+  ced::core::Rng rng(seed);
+  for (std::size_t m = 0; m < s.on.size(); ++m) {
+    const double u = rng.uniform();
+    if (u < on_density) {
+      s.on.set(m);
+    } else if (u < on_density + dc_density) {
+      s.dc.set(m);
+    }
+  }
+  return s;
+}
+
+TEST(Espresso, EmptyFunction) {
+  SopSpec s(3);
+  const Cover c = minimize_espresso(s);
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(cover_implements(c, s));
+}
+
+TEST(Espresso, TautologyBecomesUniverseCube) {
+  SopSpec s(4);
+  s.on.fill(true);
+  const Cover c = minimize_espresso(s);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.cubes()[0].num_literals(), 0);
+}
+
+TEST(Espresso, SingleMinterm) {
+  SopSpec s(5);
+  s.on.set(21);
+  const Cover c = minimize_espresso(s);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.cubes()[0], Cube::minterm(21, 5));
+}
+
+TEST(Espresso, UsesDontCaresToMerge) {
+  // ON = {00}, DC = {01, 10, 11}: a single universe cube suffices.
+  SopSpec s(2);
+  s.on.set(0);
+  s.dc.set(1);
+  s.dc.set(2);
+  s.dc.set(3);
+  const Cover c = minimize_espresso(s);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.cubes()[0].num_literals(), 0);
+}
+
+TEST(Espresso, XorNeedsTwoCubes) {
+  SopSpec s(2);
+  s.on.set(0b01);
+  s.on.set(0b10);
+  const Cover c = minimize_espresso(s);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(cover_implements(c, s));
+}
+
+TEST(Exact, MatchesKnownOptimum) {
+  // f = a'b' + ab on 2 vars (XNOR): exactly two cubes of two literals.
+  SopSpec s(2);
+  s.on.set(0b00);
+  s.on.set(0b11);
+  const Cover c = minimize_exact(s);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.num_literals(), 4);
+  EXPECT_TRUE(cover_implements(c, s));
+}
+
+TEST(Exact, ClassicFourVarExample) {
+  // Classic QM example: f(a,b,c,d) with minimum 3-cube cover.
+  SopSpec s(4);
+  for (std::uint64_t m : {4u, 8u, 10u, 11u, 12u, 15u}) s.on.set(m);
+  for (std::uint64_t m : {9u, 14u}) s.dc.set(m);
+  const Cover c = minimize_exact(s);
+  EXPECT_TRUE(cover_implements(c, s));
+  EXPECT_LE(c.size(), 3u);
+}
+
+TEST(Exact, ThrowsOnTooManyVars) {
+  EXPECT_THROW(minimize_exact(SopSpec(15)), std::invalid_argument);
+}
+
+TEST(CoverImplements, RejectsOffsetViolation) {
+  SopSpec s(2);
+  s.on.set(0b00);
+  Cover c(2);
+  c.add(Cube::universe());  // touches OFF minterms
+  EXPECT_FALSE(cover_implements(c, s));
+}
+
+TEST(CoverImplements, RejectsUncoveredOn) {
+  SopSpec s(2);
+  s.on.set(0b00);
+  s.on.set(0b11);
+  Cover c(2);
+  c.add(Cube::minterm(0, 2));
+  EXPECT_FALSE(cover_implements(c, s));
+}
+
+// ---- Property sweep: heuristic output always implements the spec and is
+// never smaller than the exact optimum.
+
+struct MinimizeCase {
+  int vars;
+  double on_density;
+  double dc_density;
+  std::uint64_t seed;
+};
+
+class MinimizeProperty : public ::testing::TestWithParam<MinimizeCase> {};
+
+TEST_P(MinimizeProperty, EspressoImplementsSpec) {
+  const auto& pc = GetParam();
+  const SopSpec s = random_spec(pc.vars, pc.on_density, pc.dc_density, pc.seed);
+  const Cover c = minimize_espresso(s);
+  EXPECT_TRUE(cover_implements(c, s));
+  // Never worse than the trivial minterm cover.
+  EXPECT_LE(c.size(), s.on.count());
+}
+
+TEST_P(MinimizeProperty, EspressoAtLeastExactSize) {
+  const auto& pc = GetParam();
+  if (pc.vars > 6) GTEST_SKIP() << "exact only on small instances";
+  const SopSpec s = random_spec(pc.vars, pc.on_density, pc.dc_density, pc.seed);
+  const Cover h = minimize_espresso(s);
+  const Cover e = minimize_exact(s);
+  EXPECT_TRUE(cover_implements(e, s));
+  EXPECT_GE(h.size(), e.size());
+  // Heuristic should stay within 2x of optimal on these sizes.
+  EXPECT_LE(h.size(), 2 * e.size() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinimizeProperty,
+    ::testing::Values(
+        MinimizeCase{3, 0.3, 0.1, 1}, MinimizeCase{3, 0.5, 0.0, 2},
+        MinimizeCase{4, 0.2, 0.2, 3}, MinimizeCase{4, 0.6, 0.1, 4},
+        MinimizeCase{5, 0.4, 0.1, 5}, MinimizeCase{5, 0.1, 0.3, 6},
+        MinimizeCase{6, 0.5, 0.05, 7}, MinimizeCase{6, 0.25, 0.25, 8},
+        MinimizeCase{8, 0.3, 0.1, 9}, MinimizeCase{8, 0.5, 0.2, 10},
+        MinimizeCase{10, 0.4, 0.1, 11}, MinimizeCase{12, 0.3, 0.1, 12}));
+
+TEST(CoverFromOnSet, TrivialCover) {
+  SopSpec s(3);
+  s.on.set(1);
+  s.on.set(6);
+  const Cover c = cover_from_on_set(s);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(cover_implements(c, s));
+}
+
+}  // namespace
+}  // namespace ced::logic

@@ -1,0 +1,99 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/handwritten.hpp"
+#include "core/parity.hpp"
+#include "kiss/kiss.hpp"
+
+namespace ced::core {
+namespace {
+
+fsm::Fsm machine(const std::string& name) {
+  return fsm::Fsm::from_kiss(kiss::parse(benchdata::handwritten_kiss(name)));
+}
+
+TEST(Pipeline, ReportFieldsAreConsistent) {
+  PipelineOptions opts;
+  opts.latency = 2;
+  const PipelineReport rep = run_pipeline(machine("link_rx"), opts);
+  EXPECT_EQ(rep.inputs, 1);
+  EXPECT_EQ(rep.outputs, 3);
+  EXPECT_EQ(rep.state_bits, 3);
+  EXPECT_EQ(rep.latency, 2);
+  EXPECT_GT(rep.orig_gates, 0u);
+  EXPECT_GT(rep.orig_area, 0.0);
+  EXPECT_GT(rep.num_faults, 0u);
+  EXPECT_GE(rep.num_detectable_faults, 1u);
+  EXPECT_LE(rep.num_detectable_faults, rep.num_faults);
+  EXPECT_GT(rep.num_cases, 0u);
+  EXPECT_EQ(rep.num_trees, static_cast<int>(rep.parities.size()));
+  EXPECT_GT(rep.ced_gates, 0u);
+  EXPECT_GT(rep.ced_area, 0.0);
+  EXPECT_GE(rep.t_extract, 0.0);
+  EXPECT_GE(rep.t_solve, 0.0);
+}
+
+TEST(Pipeline, SweepIsMonotoneAndShares) {
+  const std::vector<int> ps{1, 2, 3};
+  PipelineOptions opts;
+  const auto reps = run_latency_sweep(machine("vending"), ps, opts);
+  ASSERT_EQ(reps.size(), 3u);
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    EXPECT_EQ(reps[i].latency, ps[i]);
+    EXPECT_EQ(reps[i].orig_gates, reps[0].orig_gates);
+    EXPECT_EQ(reps[i].num_faults, reps[0].num_faults);
+    if (i > 0) {
+      EXPECT_LE(reps[i].num_trees, reps[i - 1].num_trees);
+    }
+  }
+}
+
+TEST(Pipeline, SolverKindsAllProduceValidCovers) {
+  for (SolverKind kind :
+       {SolverKind::kLpRounding, SolverKind::kGreedy, SolverKind::kExact}) {
+    PipelineOptions opts;
+    opts.latency = 2;
+    opts.solver = kind;
+    const PipelineReport rep = run_pipeline(machine("traffic"), opts);
+    EXPECT_GT(rep.num_trees, 0) << static_cast<int>(kind);
+    // Every parity mask stays within the observable bits.
+    const int n = rep.state_bits + rep.outputs;
+    for (ParityFunc b : rep.parities) {
+      EXPECT_NE(b, 0u);
+      EXPECT_EQ(b >> n, 0u);
+    }
+  }
+}
+
+TEST(Pipeline, MachineLevelSemanticsSelectable) {
+  PipelineOptions impl;
+  impl.latency = 2;
+  PipelineOptions ml = impl;
+  ml.extract.semantics = DiffSemantics::kMachineLevel;
+  const PipelineReport ri = run_pipeline(machine("link_rx"), impl);
+  const PipelineReport rm = run_pipeline(machine("link_rx"), ml);
+  // Machine-level tables are never harder than implementable ones.
+  EXPECT_LE(rm.num_trees, ri.num_trees);
+}
+
+TEST(Pipeline, EncodingChoiceAffectsStateBits) {
+  PipelineOptions onehot;
+  onehot.latency = 1;
+  onehot.encoding = fsm::EncodingKind::kOneHot;
+  const PipelineReport rep = run_pipeline(machine("traffic"), onehot);
+  EXPECT_EQ(rep.state_bits, 3);  // 3 states one-hot
+}
+
+TEST(Pipeline, SweepAcceptsUnsortedLatencies) {
+  const std::vector<int> ps{2, 1};
+  PipelineOptions opts;
+  const auto reps = run_latency_sweep(machine("seq_detect"), ps, opts);
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0].latency, 2);
+  EXPECT_EQ(reps[1].latency, 1);
+  EXPECT_GE(reps[1].num_trees, reps[0].num_trees);
+}
+
+}  // namespace
+}  // namespace ced::core

@@ -1,0 +1,22 @@
+// Compile-level test: the umbrella header is self-contained and the
+// public entry points are reachable through it.
+
+#include "ced.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchdata/handwritten.hpp"
+
+namespace {
+
+TEST(Umbrella, PublicApiReachable) {
+  const ced::fsm::Fsm f = ced::fsm::Fsm::from_kiss(
+      ced::kiss::parse(ced::benchdata::handwritten_kiss("traffic")));
+  ced::core::PipelineOptions opts;
+  opts.latency = 1;
+  const ced::core::PipelineReport rep = ced::core::run_pipeline(f, opts);
+  EXPECT_GT(rep.num_trees, 0);
+  EXPECT_TRUE(ced::logic::CellLibrary::mcnc().inv > 0.0);
+}
+
+}  // namespace

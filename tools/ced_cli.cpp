@@ -1,0 +1,207 @@
+// ced_cli — end-to-end command-line driver for the library.
+//
+//   ced_cli protect  <machine.kiss> [--latency=N] [--solver=lp|greedy|exact]
+//                    [--encoding=binary|gray|onehot|spread] [--semantics=impl|machine]
+//                    [--minimize-states] [--area-aware] [--verify]
+//   ced_cli analyze  <machine.kiss>
+//   ced_cli generate --states=N --inputs=N --outputs=N [--seed=N] [--self-loops=F]
+//
+// `protect` runs the full bounded-latency CED pipeline and prints the
+// chosen parity functions and hardware costs; `analyze` prints STG and
+// synthesis statistics; `generate` emits a synthetic KISS2 benchmark to
+// stdout. A file name of "-" reads the machine from stdin.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "benchdata/generator.hpp"
+#include "core/area_aware.hpp"
+#include "core/latency.hpp"
+#include "core/pipeline.hpp"
+#include "core/verify.hpp"
+#include "fsm/analysis.hpp"
+#include "fsm/minimize_states.hpp"
+#include "kiss/kiss.hpp"
+
+namespace {
+
+using namespace ced;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ced_cli protect <machine.kiss> [--latency=N] "
+               "[--solver=lp|greedy|exact]\n"
+               "          [--encoding=binary|gray|onehot|spread] "
+               "[--semantics=impl|machine]\n"
+               "          [--minimize-states] [--area-aware] [--verify]\n"
+               "  ced_cli analyze <machine.kiss>\n"
+               "  ced_cli generate --states=N --inputs=N --outputs=N "
+               "[--seed=N] [--self-loops=F]\n");
+  return 2;
+}
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+fsm::Fsm load_machine(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  return fsm::Fsm::from_kiss(kiss::parse(text));
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const fsm::Fsm f = load_machine(argv[2]);
+  const fsm::StgStats st = fsm::analyze_stg(f);
+  std::printf("inputs=%d outputs=%d states=%d edges=%d\n", f.num_inputs(),
+              f.num_outputs(), st.num_states, st.num_edges);
+  std::printf("reachable=%d complete=%s self-loops=%d shortest-cycle=%d\n",
+              st.reachable_states, f.is_complete() ? "yes" : "no",
+              st.num_self_loops, st.shortest_cycle);
+  const auto exact = fsm::minimize_states(f);
+  const auto compat = fsm::merge_compatible_states(f);
+  std::printf("state minimization: exact %d -> %d, compatible-merge -> %d\n",
+              exact.states_before, exact.states_after, compat.states_after);
+  const fsm::FsmCircuit c =
+      fsm::synthesize_fsm(f, fsm::EncodingKind::kBinary, {});
+  const auto area = logic::measure_area(
+      c.netlist, logic::CellLibrary::mcnc(), static_cast<std::size_t>(c.s()));
+  std::printf("synthesized (binary encoding): %d state bits, %zu gates, "
+              "area %.1f\n",
+              c.s(), area.gates, area.area);
+  const auto faults = sim::enumerate_stuck_at(c.netlist);
+  core::LatencyAnalysisOptions lo;
+  lo.max_latency = 4;
+  const auto la = core::analyze_useful_latency(c, faults, lo);
+  std::printf("collapsed stuck-at faults: %zu; max useful CED latency: %d\n",
+              faults.size(), la.max_useful_latency);
+  return 0;
+}
+
+int cmd_protect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  fsm::Fsm f = load_machine(argv[2]);
+
+  if (has_flag(argc, argv, "--minimize-states")) {
+    const auto r = fsm::merge_compatible_states(f);
+    std::printf("state minimization: %d -> %d states\n", r.states_before,
+                r.states_after);
+    f = r.machine;
+  }
+
+  core::PipelineOptions opts;
+  opts.latency = std::atoi(arg_value(argc, argv, "--latency", "2").c_str());
+  const std::string solver = arg_value(argc, argv, "--solver", "lp");
+  opts.solver = solver == "greedy"  ? core::SolverKind::kGreedy
+                : solver == "exact" ? core::SolverKind::kExact
+                                    : core::SolverKind::kLpRounding;
+  const std::string enc = arg_value(argc, argv, "--encoding", "binary");
+  opts.encoding = enc == "gray"     ? fsm::EncodingKind::kGray
+                  : enc == "onehot" ? fsm::EncodingKind::kOneHot
+                  : enc == "spread" ? fsm::EncodingKind::kSpread
+                                    : fsm::EncodingKind::kBinary;
+  if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
+    opts.extract.semantics = core::DiffSemantics::kMachineLevel;
+  }
+
+  const core::PipelineReport rep = core::run_pipeline(f, opts);
+  std::printf("original: %zu gates, area %.1f\n", rep.orig_gates,
+              rep.orig_area);
+  std::printf("faults: %zu collapsed stuck-at; erroneous cases: %zu\n",
+              rep.num_faults, rep.num_cases);
+  std::printf("latency bound p=%d -> q=%d parity trees\n", rep.latency,
+              rep.num_trees);
+  for (std::size_t l = 0; l < rep.parities.size(); ++l) {
+    std::printf("  tree %zu: mask 0x%llx\n", l,
+                static_cast<unsigned long long>(rep.parities[l]));
+  }
+  std::printf("CED hardware: %zu gates, area %.1f (%.1f%% of original)\n",
+              rep.ced_gates, rep.ced_area,
+              100.0 * rep.ced_area / rep.orig_area);
+
+  const fsm::FsmCircuit circuit =
+      fsm::synthesize_fsm(f, opts.encoding, opts.synth);
+  const auto faults = sim::enumerate_stuck_at(circuit.netlist, opts.faults);
+
+  if (has_flag(argc, argv, "--area-aware")) {
+    core::ExtractOptions ex = opts.extract;
+    ex.latency = opts.latency;
+    const auto table = core::extract_cases(circuit, faults, ex);
+    const auto aa = core::minimize_parity_area(circuit, table);
+    std::printf("area-aware refinement: %.1f -> %.1f (%d evaluations)\n",
+                aa.initial_area, aa.final_area, aa.evaluations);
+  }
+
+  if (has_flag(argc, argv, "--verify")) {
+    const core::CedHardware hw =
+        core::synthesize_ced(circuit, rep.parities, opts.ced);
+    const core::VerifyResult vr =
+        core::verify_bounded_detection(circuit, hw, faults, opts.latency);
+    std::printf("verification: %zu activations, %zu violations, "
+                "%zu false alarms -> %s\n",
+                vr.activations_checked, vr.violations, vr.false_alarms,
+                vr.ok() ? "OK" : "FAILED");
+    return vr.ok() ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+  benchdata::SyntheticSpec spec;
+  spec.name = "generated";
+  spec.states = std::atoi(arg_value(argc, argv, "--states", "12").c_str());
+  spec.inputs = std::atoi(arg_value(argc, argv, "--inputs", "3").c_str());
+  spec.outputs = std::atoi(arg_value(argc, argv, "--outputs", "3").c_str());
+  spec.seed = static_cast<std::uint64_t>(
+      std::atoll(arg_value(argc, argv, "--seed", "1").c_str()));
+  spec.self_loop_bias =
+      std::atof(arg_value(argc, argv, "--self-loops", "0.2").c_str());
+  spec.branches = std::atoi(arg_value(argc, argv, "--branches", "5").c_str());
+  std::fputs(benchdata::generate_kiss(spec).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
+    if (std::strcmp(argv[1], "protect") == 0) return cmd_protect(argc, argv);
+    if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
