@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_aware.dir/bench_area_aware.cpp.o"
+  "CMakeFiles/bench_area_aware.dir/bench_area_aware.cpp.o.d"
+  "bench_area_aware"
+  "bench_area_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

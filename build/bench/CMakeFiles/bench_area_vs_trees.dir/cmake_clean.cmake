@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_vs_trees.dir/bench_area_vs_trees.cpp.o"
+  "CMakeFiles/bench_area_vs_trees.dir/bench_area_vs_trees.cpp.o.d"
+  "bench_area_vs_trees"
+  "bench_area_vs_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_vs_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convolutional.dir/bench_convolutional.cpp.o"
+  "CMakeFiles/bench_convolutional.dir/bench_convolutional.cpp.o.d"
+  "bench_convolutional"
+  "bench_convolutional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convolutional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

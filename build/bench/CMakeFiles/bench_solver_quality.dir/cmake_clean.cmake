@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_quality.dir/bench_solver_quality.cpp.o"
+  "CMakeFiles/bench_solver_quality.dir/bench_solver_quality.cpp.o.d"
+  "bench_solver_quality"
+  "bench_solver_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

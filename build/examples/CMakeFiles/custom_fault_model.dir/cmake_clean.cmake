@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fault_model.dir/custom_fault_model.cpp.o"
+  "CMakeFiles/custom_fault_model.dir/custom_fault_model.cpp.o.d"
+  "custom_fault_model"
+  "custom_fault_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fault_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

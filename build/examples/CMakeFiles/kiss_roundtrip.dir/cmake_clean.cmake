@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_roundtrip.dir/kiss_roundtrip.cpp.o"
+  "CMakeFiles/kiss_roundtrip.dir/kiss_roundtrip.cpp.o.d"
+  "kiss_roundtrip"
+  "kiss_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_tradeoff.dir/latency_tradeoff.cpp.o"
+  "CMakeFiles/latency_tradeoff.dir/latency_tradeoff.cpp.o.d"
+  "latency_tradeoff"
+  "latency_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_faults.dir/transient_faults.cpp.o"
+  "CMakeFiles/transient_faults.dir/transient_faults.cpp.o.d"
+  "transient_faults"
+  "transient_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

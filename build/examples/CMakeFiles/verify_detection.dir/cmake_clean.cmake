@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_detection.dir/verify_detection.cpp.o"
+  "CMakeFiles/verify_detection.dir/verify_detection.cpp.o.d"
+  "verify_detection"
+  "verify_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchdata/generator.cpp" "src/benchdata/CMakeFiles/ced_benchdata.dir/generator.cpp.o" "gcc" "src/benchdata/CMakeFiles/ced_benchdata.dir/generator.cpp.o.d"
+  "/root/repo/src/benchdata/handwritten.cpp" "src/benchdata/CMakeFiles/ced_benchdata.dir/handwritten.cpp.o" "gcc" "src/benchdata/CMakeFiles/ced_benchdata.dir/handwritten.cpp.o.d"
+  "/root/repo/src/benchdata/suite.cpp" "src/benchdata/CMakeFiles/ced_benchdata.dir/suite.cpp.o" "gcc" "src/benchdata/CMakeFiles/ced_benchdata.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/ced_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/ced_kiss.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/ced_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_benchdata.dir/generator.cpp.o"
+  "CMakeFiles/ced_benchdata.dir/generator.cpp.o.d"
+  "CMakeFiles/ced_benchdata.dir/handwritten.cpp.o"
+  "CMakeFiles/ced_benchdata.dir/handwritten.cpp.o.d"
+  "CMakeFiles/ced_benchdata.dir/suite.cpp.o"
+  "CMakeFiles/ced_benchdata.dir/suite.cpp.o.d"
+  "libced_benchdata.a"
+  "libced_benchdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_benchdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libced_benchdata.a"
+)

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm1.cpp" "src/core/CMakeFiles/ced_core.dir/algorithm1.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/algorithm1.cpp.o.d"
+  "/root/repo/src/core/area_aware.cpp" "src/core/CMakeFiles/ced_core.dir/area_aware.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/area_aware.cpp.o.d"
+  "/root/repo/src/core/convolutional.cpp" "src/core/CMakeFiles/ced_core.dir/convolutional.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/convolutional.cpp.o.d"
+  "/root/repo/src/core/duplication.cpp" "src/core/CMakeFiles/ced_core.dir/duplication.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/duplication.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/ced_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/extract.cpp" "src/core/CMakeFiles/ced_core.dir/extract.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/extract.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/ced_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/ilp.cpp" "src/core/CMakeFiles/ced_core.dir/ilp.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/ilp.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/ced_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/parity.cpp" "src/core/CMakeFiles/ced_core.dir/parity.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/parity.cpp.o.d"
+  "/root/repo/src/core/parity_synth.cpp" "src/core/CMakeFiles/ced_core.dir/parity_synth.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/parity_synth.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/ced_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/ced_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/ced_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/ced_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/ced_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ced_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ced_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/ced_kiss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

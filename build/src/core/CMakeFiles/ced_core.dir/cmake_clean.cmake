@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_core.dir/algorithm1.cpp.o"
+  "CMakeFiles/ced_core.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/ced_core.dir/area_aware.cpp.o"
+  "CMakeFiles/ced_core.dir/area_aware.cpp.o.d"
+  "CMakeFiles/ced_core.dir/convolutional.cpp.o"
+  "CMakeFiles/ced_core.dir/convolutional.cpp.o.d"
+  "CMakeFiles/ced_core.dir/duplication.cpp.o"
+  "CMakeFiles/ced_core.dir/duplication.cpp.o.d"
+  "CMakeFiles/ced_core.dir/exact.cpp.o"
+  "CMakeFiles/ced_core.dir/exact.cpp.o.d"
+  "CMakeFiles/ced_core.dir/extract.cpp.o"
+  "CMakeFiles/ced_core.dir/extract.cpp.o.d"
+  "CMakeFiles/ced_core.dir/greedy.cpp.o"
+  "CMakeFiles/ced_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/ced_core.dir/ilp.cpp.o"
+  "CMakeFiles/ced_core.dir/ilp.cpp.o.d"
+  "CMakeFiles/ced_core.dir/latency.cpp.o"
+  "CMakeFiles/ced_core.dir/latency.cpp.o.d"
+  "CMakeFiles/ced_core.dir/parity.cpp.o"
+  "CMakeFiles/ced_core.dir/parity.cpp.o.d"
+  "CMakeFiles/ced_core.dir/parity_synth.cpp.o"
+  "CMakeFiles/ced_core.dir/parity_synth.cpp.o.d"
+  "CMakeFiles/ced_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ced_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ced_core.dir/verify.cpp.o"
+  "CMakeFiles/ced_core.dir/verify.cpp.o.d"
+  "libced_core.a"
+  "libced_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

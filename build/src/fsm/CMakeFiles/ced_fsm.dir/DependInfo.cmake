@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/analysis.cpp" "src/fsm/CMakeFiles/ced_fsm.dir/analysis.cpp.o" "gcc" "src/fsm/CMakeFiles/ced_fsm.dir/analysis.cpp.o.d"
+  "/root/repo/src/fsm/encoded.cpp" "src/fsm/CMakeFiles/ced_fsm.dir/encoded.cpp.o" "gcc" "src/fsm/CMakeFiles/ced_fsm.dir/encoded.cpp.o.d"
+  "/root/repo/src/fsm/encoding.cpp" "src/fsm/CMakeFiles/ced_fsm.dir/encoding.cpp.o" "gcc" "src/fsm/CMakeFiles/ced_fsm.dir/encoding.cpp.o.d"
+  "/root/repo/src/fsm/fsm.cpp" "src/fsm/CMakeFiles/ced_fsm.dir/fsm.cpp.o" "gcc" "src/fsm/CMakeFiles/ced_fsm.dir/fsm.cpp.o.d"
+  "/root/repo/src/fsm/minimize_states.cpp" "src/fsm/CMakeFiles/ced_fsm.dir/minimize_states.cpp.o" "gcc" "src/fsm/CMakeFiles/ced_fsm.dir/minimize_states.cpp.o.d"
+  "/root/repo/src/fsm/synthesize.cpp" "src/fsm/CMakeFiles/ced_fsm.dir/synthesize.cpp.o" "gcc" "src/fsm/CMakeFiles/ced_fsm.dir/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/ced_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/ced_kiss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

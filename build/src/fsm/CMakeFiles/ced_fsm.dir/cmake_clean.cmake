@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_fsm.dir/analysis.cpp.o"
+  "CMakeFiles/ced_fsm.dir/analysis.cpp.o.d"
+  "CMakeFiles/ced_fsm.dir/encoded.cpp.o"
+  "CMakeFiles/ced_fsm.dir/encoded.cpp.o.d"
+  "CMakeFiles/ced_fsm.dir/encoding.cpp.o"
+  "CMakeFiles/ced_fsm.dir/encoding.cpp.o.d"
+  "CMakeFiles/ced_fsm.dir/fsm.cpp.o"
+  "CMakeFiles/ced_fsm.dir/fsm.cpp.o.d"
+  "CMakeFiles/ced_fsm.dir/minimize_states.cpp.o"
+  "CMakeFiles/ced_fsm.dir/minimize_states.cpp.o.d"
+  "CMakeFiles/ced_fsm.dir/synthesize.cpp.o"
+  "CMakeFiles/ced_fsm.dir/synthesize.cpp.o.d"
+  "libced_fsm.a"
+  "libced_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

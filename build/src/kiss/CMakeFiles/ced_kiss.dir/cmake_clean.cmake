@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_kiss.dir/kiss.cpp.o"
+  "CMakeFiles/ced_kiss.dir/kiss.cpp.o.d"
+  "libced_kiss.a"
+  "libced_kiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_kiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/area.cpp" "src/logic/CMakeFiles/ced_logic.dir/area.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/area.cpp.o.d"
+  "/root/repo/src/logic/bitvec.cpp" "src/logic/CMakeFiles/ced_logic.dir/bitvec.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/bitvec.cpp.o.d"
+  "/root/repo/src/logic/blif.cpp" "src/logic/CMakeFiles/ced_logic.dir/blif.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/blif.cpp.o.d"
+  "/root/repo/src/logic/cover.cpp" "src/logic/CMakeFiles/ced_logic.dir/cover.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/cover.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "src/logic/CMakeFiles/ced_logic.dir/cube.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/cube.cpp.o.d"
+  "/root/repo/src/logic/factor.cpp" "src/logic/CMakeFiles/ced_logic.dir/factor.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/factor.cpp.o.d"
+  "/root/repo/src/logic/minimize.cpp" "src/logic/CMakeFiles/ced_logic.dir/minimize.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/minimize.cpp.o.d"
+  "/root/repo/src/logic/netlist.cpp" "src/logic/CMakeFiles/ced_logic.dir/netlist.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/netlist.cpp.o.d"
+  "/root/repo/src/logic/opt.cpp" "src/logic/CMakeFiles/ced_logic.dir/opt.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/opt.cpp.o.d"
+  "/root/repo/src/logic/synth.cpp" "src/logic/CMakeFiles/ced_logic.dir/synth.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/synth.cpp.o.d"
+  "/root/repo/src/logic/truth_table.cpp" "src/logic/CMakeFiles/ced_logic.dir/truth_table.cpp.o" "gcc" "src/logic/CMakeFiles/ced_logic.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

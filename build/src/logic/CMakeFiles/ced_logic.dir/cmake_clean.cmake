@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_logic.dir/area.cpp.o"
+  "CMakeFiles/ced_logic.dir/area.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/bitvec.cpp.o"
+  "CMakeFiles/ced_logic.dir/bitvec.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/blif.cpp.o"
+  "CMakeFiles/ced_logic.dir/blif.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/cover.cpp.o"
+  "CMakeFiles/ced_logic.dir/cover.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/cube.cpp.o"
+  "CMakeFiles/ced_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/factor.cpp.o"
+  "CMakeFiles/ced_logic.dir/factor.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/minimize.cpp.o"
+  "CMakeFiles/ced_logic.dir/minimize.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/netlist.cpp.o"
+  "CMakeFiles/ced_logic.dir/netlist.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/opt.cpp.o"
+  "CMakeFiles/ced_logic.dir/opt.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/synth.cpp.o"
+  "CMakeFiles/ced_logic.dir/synth.cpp.o.d"
+  "CMakeFiles/ced_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/ced_logic.dir/truth_table.cpp.o.d"
+  "libced_logic.a"
+  "libced_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

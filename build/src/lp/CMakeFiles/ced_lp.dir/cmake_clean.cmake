@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_lp.dir/simplex.cpp.o"
+  "CMakeFiles/ced_lp.dir/simplex.cpp.o.d"
+  "libced_lp.a"
+  "libced_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

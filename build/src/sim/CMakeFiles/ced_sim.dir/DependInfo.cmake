@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fault_sim.cpp" "src/sim/CMakeFiles/ced_sim.dir/fault_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ced_sim.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/ced_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/ced_sim.dir/faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/ced_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/ced_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/ced_kiss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

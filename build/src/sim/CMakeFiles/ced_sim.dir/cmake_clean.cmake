@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_sim.dir/fault_sim.cpp.o"
+  "CMakeFiles/ced_sim.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/ced_sim.dir/faults.cpp.o"
+  "CMakeFiles/ced_sim.dir/faults.cpp.o.d"
+  "libced_sim.a"
+  "libced_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

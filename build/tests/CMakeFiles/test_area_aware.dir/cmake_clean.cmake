@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_area_aware.dir/test_area_aware.cpp.o"
+  "CMakeFiles/test_area_aware.dir/test_area_aware.cpp.o.d"
+  "test_area_aware"
+  "test_area_aware.pdb"
+  "test_area_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_area_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ced_hw.dir/test_ced_hw.cpp.o"
+  "CMakeFiles/test_ced_hw.dir/test_ced_hw.cpp.o.d"
+  "test_ced_hw"
+  "test_ced_hw.pdb"
+  "test_ced_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ced_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

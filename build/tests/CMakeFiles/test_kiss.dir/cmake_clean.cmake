@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kiss.dir/test_kiss.cpp.o"
+  "CMakeFiles/test_kiss.dir/test_kiss.cpp.o.d"
+  "test_kiss"
+  "test_kiss.pdb"
+  "test_kiss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimize_states.dir/test_minimize_states.cpp.o"
+  "CMakeFiles/test_minimize_states.dir/test_minimize_states.cpp.o.d"
+  "test_minimize_states"
+  "test_minimize_states.pdb"
+  "test_minimize_states[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimize_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/test_opt.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/test_opt.dir/test_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ced_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchdata/CMakeFiles/ced_benchdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ced_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ced_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/ced_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/ced_kiss.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/ced_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

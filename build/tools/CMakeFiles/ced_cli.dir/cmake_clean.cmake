@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_cli.dir/ced_cli.cpp.o"
+  "CMakeFiles/ced_cli.dir/ced_cli.cpp.o.d"
+  "ced_cli"
+  "ced_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
