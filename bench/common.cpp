@@ -39,8 +39,41 @@ std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
                                                 const std::vector<int>& ps,
                                                 core::PipelineOptions opts) {
   std::fprintf(stderr, "[bench] %s ...\n", name.c_str());
-  const fsm::Fsm f = benchdata::suite_fsm(name);
-  return core::run_latency_sweep(f, ps, opts);
+  std::vector<core::PipelineReport> reps;
+  try {
+    const fsm::Fsm f = benchdata::suite_fsm(name);
+    reps = core::run_latency_sweep(f, ps, opts);
+  } catch (const std::exception& e) {
+    // Unknown circuit name (or any setup failure): emit classified rows so
+    // the sweep's remaining circuits still run.
+    for (const int p : ps) {
+      core::PipelineReport r;
+      r.latency = p;
+      r.resilience.status =
+          Status::invalid_input(Stage::kPipeline, e.what());
+      reps.push_back(r);
+    }
+  }
+  // One oversized/misbehaving circuit must not silently poison a Table-1
+  // sweep: flag every degraded row so its numbers are read as lower bounds.
+  for (const core::PipelineReport& r : reps) {
+    if (r.resilience.degraded()) {
+      std::fprintf(stderr, "[bench] %s p=%d DEGRADED\n%s", name.c_str(),
+                   r.latency, r.resilience.summary().c_str());
+    }
+  }
+  return reps;
+}
+
+bool any_degraded(const std::vector<core::PipelineReport>& reps) {
+  for (const core::PipelineReport& r : reps) {
+    if (r.resilience.degraded()) return true;
+  }
+  return false;
+}
+
+const char* quality_tag(const core::PipelineReport& r) {
+  return r.resilience.degraded() ? "*" : "";
 }
 
 double reduction_pct(double from, double to) {

@@ -31,4 +31,12 @@ std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
 /// Percent change helper: 100 * (from - to) / from (positive = reduction).
 double reduction_pct(double from, double to);
 
+/// True when any report in the sweep ran degraded (budget valve fired or
+/// the solver cascade fell back); sweep_circuit already printed details.
+bool any_degraded(const std::vector<core::PipelineReport>& reps);
+
+/// "*" when the report is degraded (append to table cells so a truncated
+/// row is never mistaken for a full-quality number), "" otherwise.
+const char* quality_tag(const core::PipelineReport& r);
+
 }  // namespace ced::bench

@@ -5,6 +5,9 @@
 /// Pull in everything; fine-grained headers remain available for
 /// compile-time-sensitive consumers.
 
+// Structured status/result types shared by every layer.
+#include "common/status.hpp"
+
 // Logic substrate: cubes/covers, minimizers, netlists, optimization,
 // factoring, areas, BLIF/Verilog interchange.
 #include "logic/area.hpp"
@@ -49,4 +52,5 @@
 #include "core/parity.hpp"
 #include "core/parity_synth.hpp"
 #include "core/pipeline.hpp"
+#include "core/resilience.hpp"
 #include "core/verify.hpp"

@@ -119,17 +119,42 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
   std::vector<ParityFunc> best_attempt;
   std::size_t best_uncovered = table.cases.size() + 1;
 
+  // Forward the wall-clock budget into each LP solve.
+  lp::SolverOptions lp_opts = opts.lp;
+  if (opts.deadline.armed() && opts.deadline.time_point() < lp_opts.deadline) {
+    lp_opts.deadline = opts.deadline.time_point();
+  }
+
   for (int round = 0; round < opts.row_rounds; ++round) {
+    if (opts.deadline.expired()) {
+      if (stats) stats->deadline_hit = true;
+      break;
+    }
     LpFormulation f = opts.use_statement5
                           ? build_lp_statement5(table, rows, q)
                           : build_lp(table, rows, q);
-    const lp::LpResult res = lp::solve(f.problem, opts.lp);
-    if (stats) ++stats->lp_solves;
+    const lp::LpResult res = lp::solve(f.problem, lp_opts);
+    if (stats) {
+      ++stats->lp_solves;
+      stats->lp_iterations += res.iterations;
+    }
     if (res.status == lp::Status::kInfeasible) return std::nullopt;
-    if (res.status != lp::Status::kOptimal) break;  // solver budget hit
+    if (res.status != lp::Status::kOptimal) {
+      // Solver budget hit (iteration or time limit): record it instead of
+      // silently abandoning the round, then fall through to repair.
+      if (stats) {
+        stats->lp_budget_hit = true;
+        if (res.status == lp::Status::kTimeLimit) stats->deadline_hit = true;
+      }
+      break;
+    }
     const auto x = beta_values(f, res);
 
     for (int it = 0; it < opts.iter; ++it) {
+      if (opts.deadline.expired()) {
+        if (stats) stats->deadline_hit = true;
+        break;
+      }
       const double blend =
           opts.iter <= 1 ? 0.0
                          : 0.5 * std::max(0.0, (2.0 * it - opts.iter) /
@@ -180,6 +205,10 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
       if (b == 0) b = 1;  // give the climber a starting bit
     }
     for (int attempt = 0; attempt < 4; ++attempt) {
+      if (opts.deadline.expired()) {
+        if (stats) stats->deadline_hit = true;
+        break;
+      }
       if (stats) ++stats->repairs;
       if (!repair_on(best_attempt, table, check_rows, table.num_bits)) break;
       if (full_check(best_attempt)) {
@@ -222,6 +251,10 @@ void drop_and_repair(std::vector<ParityFunc>& best,
   while (improved && best.size() > 1) {
     improved = false;
     for (std::size_t drop = 0; drop < best.size(); ++drop) {
+      if (opts.deadline.expired()) {
+        if (stats) stats->deadline_hit = true;
+        return;
+      }
       std::vector<ParityFunc> cand;
       cand.reserve(best.size() - 1);
       for (std::size_t i = 0; i < best.size(); ++i) {
@@ -259,8 +292,19 @@ std::vector<ParityFunc> minimize_parity_functions(
     return {};
   }
 
-  // Greedy upper bound doubles as the fallback solution.
-  const std::vector<ParityFunc> greedy = greedy_cover(table, opts.greedy);
+  // Greedy upper bound doubles as the fallback solution; it shares the
+  // overall deadline so even the seeding degrades gracefully.
+  GreedyOptions greedy_opts = opts.greedy;
+  if (opts.deadline.armed() && !greedy_opts.deadline.armed()) {
+    greedy_opts.deadline = opts.deadline;
+  }
+  GreedyStats greedy_stats;
+  const std::vector<ParityFunc> greedy =
+      greedy_cover(table, greedy_opts, &greedy_stats);
+  if (stats && greedy_stats.deadline_hit) {
+    stats->greedy_degraded = true;
+    stats->deadline_hit = true;
+  }
   std::vector<ParityFunc> best = greedy;
   bool from_greedy = true;
   if (!warm_start.empty() && warm_start.size() <= best.size() &&
@@ -273,6 +317,12 @@ std::vector<ParityFunc> minimize_parity_functions(
   int left = 1;
   int right = static_cast<int>(best.size());
   while (left < right) {
+    if (opts.deadline.expired()) {
+      // Out of time: the incumbent (greedy or a prior q's solution) is a
+      // verified complete cover — return it instead of searching on.
+      if (stats) stats->deadline_hit = true;
+      break;
+    }
     const int q = left + (right - left) / 2;
     if (stats) stats->qs_tried.push_back(q);
     auto sol = solve_for_q(table, q, opts, stats);
@@ -290,7 +340,7 @@ std::vector<ParityFunc> minimize_parity_functions(
     }
   }
 
-  if (opts.post_optimize) {
+  if (opts.post_optimize && !opts.deadline.expired()) {
     const std::size_t before = best.size();
     drop_and_repair(best, table, opts, stats);
     if (best.size() < before) from_greedy = false;

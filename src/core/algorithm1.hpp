@@ -39,6 +39,10 @@ struct Algorithm1Options {
   std::uint64_t seed = 0xced;
   lp::SolverOptions lp;
   GreedyOptions greedy;
+  /// Wall-clock budget for the whole Algorithm-1 search (forwarded to the
+  /// LP solver and the greedy seeding). On expiry the binary search stops
+  /// and the best incumbent so far is returned — never nothing.
+  Deadline deadline;
 };
 
 struct Algorithm1Stats {
@@ -46,9 +50,19 @@ struct Algorithm1Stats {
   int roundings = 0;
   int repairs = 0;
   int final_q = 0;
+  /// Simplex pivots consumed across all LP solves.
+  int lp_iterations = 0;
   /// True when the binary search never beat the greedy upper bound and the
   /// greedy solution was returned.
   bool greedy_fallback = false;
+  /// True when an LP solve stopped on its iteration or time budget (the
+  /// former silent `break` path — now recorded).
+  bool lp_budget_hit = false;
+  /// True when the wall-clock deadline cut the search short.
+  bool deadline_hit = false;
+  /// True when even the greedy seeding ran out of time and closed out with
+  /// single-bit functions.
+  bool greedy_degraded = false;
   std::vector<int> qs_tried;
 };
 

@@ -11,9 +11,8 @@ namespace {
 class Bnb {
  public:
   Bnb(const std::vector<logic::BitVec>& cover_sets, std::size_t num_cases,
-      std::size_t max_nodes)
-      : cover_sets_(cover_sets), num_cases_(num_cases),
-        max_nodes_(max_nodes) {}
+      const ExactOptions& opts)
+      : cover_sets_(cover_sets), num_cases_(num_cases), opts_(opts) {}
 
   std::optional<std::vector<std::size_t>> solve(std::size_t upper_bound) {
     best_size_ = upper_bound + 1;
@@ -26,10 +25,20 @@ class Bnb {
     return best_;
   }
 
+  std::size_t nodes() const { return nodes_; }
+  bool node_budget_hit() const { return node_budget_hit_; }
+  bool deadline_hit() const { return deadline_hit_; }
+
  private:
   void recurse(logic::BitVec& covered, std::vector<std::size_t>& chosen) {
     if (aborted_) return;
-    if (++nodes_ > max_nodes_) {
+    if (++nodes_ > opts_.max_nodes) {
+      node_budget_hit_ = true;
+      aborted_ = true;
+      return;
+    }
+    if ((nodes_ & 4095u) == 0 && opts_.deadline.expired()) {
+      deadline_hit_ = true;
       aborted_ = true;
       return;
     }
@@ -65,21 +74,32 @@ class Bnb {
 
   const std::vector<logic::BitVec>& cover_sets_;
   std::size_t num_cases_;
-  std::size_t max_nodes_;
+  const ExactOptions& opts_;
   std::size_t nodes_ = 0;
   std::size_t best_size_ = 0;
   std::vector<std::size_t> best_;
   bool aborted_ = false;
+  bool node_budget_hit_ = false;
+  bool deadline_hit_ = false;
 };
 
 }  // namespace
 
 std::optional<std::vector<ParityFunc>> exact_min_cover(
-    const DetectabilityTable& table, const ExactOptions& opts) {
+    const DetectabilityTable& table, const ExactOptions& opts,
+    ExactOutcome* outcome) {
+  if (outcome) *outcome = {};
   const int n = table.num_bits;
-  if (n > opts.max_bits) return std::nullopt;
+  if (n > opts.max_bits) {
+    if (outcome) outcome->too_large = true;
+    return std::nullopt;
+  }
   const std::size_t m = table.cases.size();
   if (m == 0) return std::vector<ParityFunc>{};
+  if (opts.deadline.expired()) {
+    if (outcome) outcome->deadline_hit = true;
+    return std::nullopt;
+  }
 
   // Enumerate all candidate parity functions with their coverage sets.
   const std::uint64_t num_candidates = (std::uint64_t{1} << n) - 1;
@@ -138,14 +158,22 @@ std::optional<std::vector<ParityFunc>> exact_min_cover(
           best = c;
         }
       }
-      if (best == cov2.size()) return std::nullopt;  // uncoverable case
+      if (best == cov2.size()) {  // uncoverable case
+        if (outcome) outcome->uncoverable = true;
+        return std::nullopt;
+      }
       covered |= cov2[best];
       greedy_sel.push_back(best);
     }
   }
 
-  Bnb bnb(cov2, m, opts.max_nodes);
+  Bnb bnb(cov2, m, opts);
   const auto sel = bnb.solve(greedy_sel.size());
+  if (outcome) {
+    outcome->nodes = bnb.nodes();
+    outcome->node_budget_hit = bnb.node_budget_hit();
+    outcome->deadline_hit = bnb.deadline_hit();
+  }
   if (!sel) return std::nullopt;
   std::vector<ParityFunc> out;
   out.reserve(sel->size());

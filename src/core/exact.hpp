@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/parity.hpp"
+#include "core/resilience.hpp"
 
 namespace ced::core {
 
@@ -14,6 +15,19 @@ struct ExactOptions {
   int max_bits = 14;
   /// Branch-and-bound node budget; nullopt result when exhausted.
   std::size_t max_nodes = 50'000'000;
+  /// Wall-clock budget for the search; on expiry the solve aborts with
+  /// `deadline_hit` so the caller can fall back to a cheaper solver.
+  Deadline deadline;
+};
+
+/// Why an exact solve returned nullopt (all false on success) — drives the
+/// degradation cascade's fallback classification.
+struct ExactOutcome {
+  bool too_large = false;      ///< instance exceeded max_bits
+  bool node_budget_hit = false;
+  bool deadline_hit = false;
+  bool uncoverable = false;    ///< some case no candidate covers
+  std::size_t nodes = 0;       ///< branch-and-bound nodes explored
 };
 
 /// Exact minimum number of parity functions (optimal Statement-1 solution)
@@ -23,6 +37,7 @@ struct ExactOptions {
 ///
 /// Returns nullopt when the instance exceeds the option limits.
 std::optional<std::vector<ParityFunc>> exact_min_cover(
-    const DetectabilityTable& table, const ExactOptions& opts = {});
+    const DetectabilityTable& table, const ExactOptions& opts = {},
+    ExactOutcome* outcome = nullptr);
 
 }  // namespace ced::core

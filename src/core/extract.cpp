@@ -93,7 +93,8 @@ class Extractor {
         sets_(static_cast<std::size_t>(opts.latency)),
         compact_threshold_(static_cast<std::size_t>(opts.latency),
                            kCompactStart),
-        max_words_(static_cast<std::size_t>(opts.latency), kMaxLatency) {}
+        max_words_(static_cast<std::size_t>(opts.latency), kMaxLatency),
+        frozen_(static_cast<std::size_t>(opts.latency), false) {}
 
   void run(std::span<const sim::StuckAtFault> faults) {
     std::vector<std::uint64_t> activation_codes;
@@ -108,9 +109,12 @@ class Extractor {
 
     for (auto& t : tables_) t.num_faults = faults.size();
     for (const auto& f : faults) {
+      if (stop_) break;
       sim::FaultyCache faulty(circuit_, f);
       bool detectable = false;
       for (std::uint64_t c : activation_codes) {
+        if (stop_) break;
+        check_deadline();
         const auto classes = step_classes(golden_.rows(c), faulty.rows(c),
                                           circuit_, opts_.semantics);
         for (const auto& cls : classes) {
@@ -148,11 +152,13 @@ class Extractor {
   /// Extends the current path from `pair` at step index `depth`
   /// (diffs_[0..depth-1] and path_states_[0..depth-1] are filled).
   void descend(sim::FaultyCache& faulty, const Pair& pair, int depth) {
-    if (depth == opts_.latency) return;
+    if (depth == opts_.latency || stop_) return;
+    if ((++tick_ & 1023u) == 0) check_deadline();
     const auto classes = step_classes(golden_.rows(pair.good),
                                       faulty.rows(pair.bad), circuit_,
                                       opts_.semantics);
     for (const auto& cls : classes) {
+      if (stop_) return;
       diffs_[static_cast<std::size_t>(depth)] = cls.diff;
       record(depth + 1);
       bool loop = false;
@@ -242,8 +248,33 @@ class Extractor {
     return s;
   }
 
+  /// Freezes table `t`: no further cases are accepted, the rows found so
+  /// far stand, and the truncation is reported instead of thrown.
+  void freeze(std::size_t t, const std::string& reason) {
+    if (frozen_[t]) return;
+    frozen_[t] = true;
+    tables_[t].truncated = true;
+    tables_[t].truncation_reason = reason;
+    bool all = true;
+    for (std::size_t i = 0; i < frozen_.size(); ++i) {
+      if (!frozen_[i]) all = false;
+    }
+    if (all) stop_ = true;
+  }
+
+  /// Cooperative wall-clock check: on expiry, every still-open table is
+  /// frozen with its partial contents and the DFS unwinds.
+  void check_deadline() {
+    if (stop_ || !opts_.deadline.armed() || !opts_.deadline.expired()) return;
+    for (std::size_t t = 0; t < frozen_.size(); ++t) {
+      freeze(t, "wall-clock budget exhausted during extraction");
+    }
+    stop_ = true;
+  }
+
   void insert(ErroneousCase ec, int latency) {
     const auto t = static_cast<std::size_t>(latency - 1);
+    if (frozen_[t]) return;
     auto& set = sets_[t];
     ec = strengthen(ec, max_words_[t]);
     if (dominated(ec, set)) return;
@@ -266,9 +297,14 @@ class Extractor {
       threshold = std::max<std::size_t>(2 * set.size(), kCompactStart);
     }
     if (set.size() > opts_.max_cases) {
-      throw std::runtime_error(
-          "extract_cases: erroneous-case limit exceeded; raise "
-          "ExtractOptions::max_cases or lower the latency bound");
+      // Recoverable truncation (the old behaviour threw here): keep the
+      // subset-minimal cases found so far and freeze this table.
+      compact(set);
+      if (set.size() > opts_.max_cases) {
+        freeze(t,
+               "erroneous-case limit (" + std::to_string(opts_.max_cases) +
+                   ") exceeded; table holds the cases found so far");
+      }
     }
   }
 
@@ -281,6 +317,9 @@ class Extractor {
   std::vector<CaseSet> sets_;
   std::vector<std::size_t> compact_threshold_;
   std::vector<int> max_words_;
+  std::vector<bool> frozen_;
+  bool stop_ = false;
+  std::uint32_t tick_ = 0;
   std::array<std::uint64_t, kMaxLatency> diffs_{};
   std::array<Pair, kMaxLatency + 1> path_states_{};
 };

@@ -4,7 +4,10 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "core/erroneous_case.hpp"
+#include "core/resilience.hpp"
 #include "fsm/synthesize.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/faults.hpp"
@@ -46,8 +49,14 @@ struct ExtractOptions {
   /// removes detection alternatives, so results stay sound (possibly a few
   /// extra parity trees); the table's `strengthened` flag reports it.
   std::size_t degrade_threshold = 2'000'000;
-  /// Hard valve (after degradation to single-word cases).
+  /// Hard valve (after degradation to single-word cases). Reaching it no
+  /// longer throws: the affected table freezes with its cases found so far
+  /// and reports `truncated` — a cover of the frozen table is still a valid
+  /// (partial-coverage) answer for exactly those cases.
   std::size_t max_cases = 5'000'000;
+  /// Cooperative wall-clock budget: when it expires mid-DFS, extraction
+  /// stops and every table still open is marked truncated.
+  Deadline deadline;
 };
 
 /// The error detectability table of Fig. 2: the union of all erroneous
@@ -60,6 +69,12 @@ struct DetectabilityTable {
   /// True if the degrade threshold forced case strengthening (results are
   /// then conservative: a valid cover, possibly with extra trees).
   bool strengthened = false;
+  /// True if a budget valve (case limit or wall-clock deadline) stopped
+  /// enumeration before exhausting the path space: `cases` then holds the
+  /// subset found so far, and detection claims hold for exactly those rows.
+  bool truncated = false;
+  /// Human-readable reason when `truncated` is set.
+  std::string truncation_reason;
   std::vector<ErroneousCase> cases;
 
   // Statistics.

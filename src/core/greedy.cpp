@@ -51,6 +51,7 @@ void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
   const std::uint64_t mask =
       n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
   while (!pending.empty()) {
+    if (opts.deadline.expired()) return;  // caller closes out the remainder
     ParityFunc best_beta = 0;
     std::size_t best_cov = 0;
 
@@ -96,7 +97,8 @@ void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
 }  // namespace
 
 std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
-                                     const GreedyOptions& opts) {
+                                     const GreedyOptions& opts,
+                                     GreedyStats* stats) {
   Rng rng(opts.seed);
   std::vector<ParityFunc> solution;
 
@@ -108,6 +110,29 @@ std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
     pending[i] = static_cast<std::uint32_t>(i);
   }
   while (!pending.empty()) {
+    if (opts.deadline.expired()) {
+      // Budget exhausted: close out the remaining cases instantly with one
+      // single-bit function per needed bit (the lowest set bit of a case's
+      // first nonzero word always gives odd overlap), keeping the cover
+      // complete without further search.
+      if (stats) stats->deadline_hit = true;
+      std::uint64_t used = 0;
+      for (std::uint32_t i : pending) {
+        const ErroneousCase& ec = table.cases[i];
+        for (int k = 0; k < ec.length; ++k) {
+          const std::uint64_t w = ec.diff[static_cast<std::size_t>(k)];
+          if (w == 0) continue;
+          const ParityFunc beta = w & (~w + 1);
+          if (!(used & beta)) {
+            used |= beta;
+            solution.push_back(beta);
+            if (stats) ++stats->single_bit_completions;
+          }
+          break;
+        }
+      }
+      return solution;
+    }
     std::vector<std::uint32_t> sample;
     if (pending.size() <= opts.sample_cap) {
       sample = pending;

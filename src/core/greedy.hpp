@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/parity.hpp"
+#include "core/resilience.hpp"
 
 namespace ced::core {
 
@@ -17,6 +18,18 @@ struct GreedyOptions {
   /// full table, so sampling affects only speed/quality, never coverage.
   std::size_t sample_cap = 20'000;
   std::uint64_t seed = 0x5eed;
+  /// Wall-clock budget. On expiry the hill climbing stops and the
+  /// still-uncovered cases are closed out with single-bit functions (one
+  /// per needed observable bit), so the solver always terminates with a
+  /// complete — if larger — cover.
+  Deadline deadline;
+};
+
+/// Diagnostics for the resilience layer.
+struct GreedyStats {
+  bool deadline_hit = false;
+  /// Parity functions appended by the single-bit close-out.
+  int single_bit_completions = 0;
 };
 
 /// Greedy set-cover style baseline: repeatedly picks the parity function
@@ -27,6 +40,7 @@ struct GreedyOptions {
 /// detects it... more precisely, any bit set in diff[0] gives odd overlap
 /// when chosen alone).
 std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
-                                     const GreedyOptions& opts = {});
+                                     const GreedyOptions& opts = {},
+                                     GreedyStats* stats = nullptr);
 
 }  // namespace ced::core

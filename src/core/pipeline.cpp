@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
 #include "core/exact.hpp"
 
@@ -13,10 +15,20 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+CascadeLevel level_of(SolverKind solver) {
+  switch (solver) {
+    case SolverKind::kExact: return CascadeLevel::kExact;
+    case SolverKind::kGreedy: return CascadeLevel::kGreedy;
+    case SolverKind::kLpRounding: return CascadeLevel::kLpRounding;
+  }
+  return CascadeLevel::kLpRounding;
+}
+
 PipelineReport report_for(const fsm::FsmCircuit& circuit,
                           const std::vector<sim::StuckAtFault>& faults,
                           const DetectabilityTable& table,
                           const PipelineOptions& opts,
+                          const Deadline& deadline,
                           std::span<const ParityFunc> warm_start,
                           bool warm_is_lower_latency_cover = false) {
   PipelineReport rep;
@@ -33,12 +45,22 @@ PipelineReport report_for(const fsm::FsmCircuit& circuit,
   rep.num_cases = table.cases.size();
   rep.latency = table.latency;
 
+  rep.resilience.extraction_truncated = table.truncated;
+  rep.resilience.table_strengthened = table.strengthened;
+  if (table.truncated) {
+    rep.resilience.record(Stage::kExtract, StatusCode::kTruncated,
+                          table.truncation_reason, 0.0, table.cases.size());
+  }
+
   auto t0 = std::chrono::steady_clock::now();
-  rep.parities = select_parities(table, opts.solver, opts.algo,
-                                 &rep.algo_stats, warm_start);
+  rep.parities = select_parities_resilient(table, opts, deadline,
+                                           &rep.algo_stats, warm_start,
+                                           rep.resilience);
   // A cover for a smaller latency bound is always a valid cover for this
   // one (detecting earlier is allowed), even when this table was
-  // conservatively strengthened and the solver could not do as well.
+  // conservatively strengthened and the solver could not do as well. The
+  // shortcut is only sound when the warm cover's source table was complete,
+  // so truncated sweeps skip it.
   if (warm_is_lower_latency_cover && !warm_start.empty() &&
       warm_start.size() < rep.parities.size()) {
     rep.parities.assign(warm_start.begin(), warm_start.end());
@@ -53,30 +75,184 @@ PipelineReport report_for(const fsm::FsmCircuit& circuit,
   rep.ced_gates = cost.gates;
   rep.ced_area = cost.area;
   rep.t_ced = seconds_since(t0);
+
+  if (rep.resilience.status.ok() && rep.resilience.degraded()) {
+    rep.resilience.status = Status::truncated(
+        Stage::kPipeline,
+        "run degraded under budget; cover is valid for the cases covered");
+  }
   return rep;
 }
 
+/// Builds one classified-but-empty report per requested latency; used when
+/// the run cannot proceed at all (invalid input, internal failure).
+std::vector<PipelineReport> classified_reports(std::span<const int> latencies,
+                                               const PipelineOptions& opts,
+                                               Status status) {
+  std::vector<PipelineReport> reports;
+  for (int p : latencies) {
+    PipelineReport rep;
+    rep.latency = p;
+    rep.resilience.solver_requested = level_of(opts.solver);
+    rep.resilience.solver_used = level_of(opts.solver);
+    rep.resilience.status = status;
+    reports.push_back(std::move(rep));
+  }
+  return reports;
+}
+
 }  // namespace
+
+std::vector<ParityFunc> duplication_floor_cover(
+    const DetectabilityTable& table) {
+  std::uint64_t used = 0;
+  std::vector<ParityFunc> out;
+  for (const auto& ec : table.cases) {
+    for (int k = 0; k < ec.length; ++k) {
+      const std::uint64_t w = ec.diff[static_cast<std::size_t>(k)];
+      if (w == 0) continue;
+      const ParityFunc beta = w & (~w + 1);
+      if (!(used & beta)) {
+        used |= beta;
+        out.push_back(beta);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<ParityFunc> select_parities_resilient(
+    const DetectabilityTable& table, const PipelineOptions& opts,
+    const Deadline& deadline, Algorithm1Stats* stats,
+    std::span<const ParityFunc> warm_start, ResilienceReport& resilience) {
+  const auto t0 = std::chrono::steady_clock::now();
+  resilience.solver_requested = level_of(opts.solver);
+  resilience.solver_used = resilience.solver_requested;
+  if (table.cases.empty()) {
+    if (stats) stats->final_q = 0;
+    return {};
+  }
+
+  SolverKind level = opts.solver;
+
+  if (level == SolverKind::kExact) {
+    ExactOptions ex = opts.exact;
+    if (opts.budget.max_exact_nodes > 0) {
+      ex.max_nodes = opts.budget.max_exact_nodes;
+    }
+    if (deadline.armed() && !ex.deadline.armed()) ex.deadline = deadline;
+    ExactOutcome outcome;
+    if (auto sol = exact_min_cover(table, ex, &outcome)) {
+      if (stats) stats->final_q = static_cast<int>(sol->size());
+      return *sol;
+    }
+    std::string why;
+    if (outcome.too_large) {
+      why = "instance exceeds exact-solver size limit";
+    } else if (outcome.deadline_hit) {
+      why = "wall-clock budget exhausted after " +
+            std::to_string(outcome.nodes) + " branch-and-bound nodes";
+    } else if (outcome.node_budget_hit) {
+      why = "branch-and-bound node budget (" +
+            std::to_string(outcome.nodes) + " nodes) exhausted";
+    } else if (outcome.uncoverable) {
+      why = "a case is uncoverable within the candidate space";
+    } else {
+      why = "exact search could not certify an optimum";
+    }
+    resilience.record(Stage::kExact,
+                      outcome.uncoverable ? StatusCode::kInfeasible
+                                          : StatusCode::kTruncated,
+                      why + "; falling back to LP+rounding",
+                      seconds_since(t0), table.cases.size());
+    resilience.solver_used = CascadeLevel::kLpRounding;
+    level = SolverKind::kLpRounding;
+  }
+
+  if (level == SolverKind::kLpRounding) {
+    if (deadline.expired()) {
+      resilience.record(Stage::kLp, StatusCode::kTruncated,
+                        "wall-clock budget exhausted before the LP stage; "
+                        "falling back to greedy",
+                        seconds_since(t0), table.cases.size());
+      resilience.solver_used = CascadeLevel::kGreedy;
+      level = SolverKind::kGreedy;
+    } else {
+      Algorithm1Options algo = opts.algo;
+      if (deadline.armed() && !algo.deadline.armed()) algo.deadline = deadline;
+      if (opts.budget.max_lp_iterations > 0) {
+        algo.lp.max_iterations = opts.budget.max_lp_iterations;
+      }
+      if (opts.budget.max_rounding_attempts > 0) {
+        algo.iter = std::min(algo.iter, opts.budget.max_rounding_attempts);
+      }
+      Algorithm1Stats local;
+      Algorithm1Stats* st = stats ? stats : &local;
+      auto sol = minimize_parity_functions(table, algo, st, warm_start);
+      if (st->lp_budget_hit) {
+        resilience.record(
+            Stage::kLp, StatusCode::kTruncated,
+            "LP solve stopped on its iteration/time budget (" +
+                std::to_string(st->lp_iterations) + " pivots total)",
+            seconds_since(t0), table.cases.size());
+      }
+      if (st->deadline_hit && !st->lp_budget_hit) {
+        resilience.record(Stage::kRounding, StatusCode::kTruncated,
+                          "wall-clock budget cut the rounding search short "
+                          "after " + std::to_string(st->roundings) +
+                              " roundings",
+                          seconds_since(t0), table.cases.size());
+      }
+      // greedy_fallback under budget pressure means the answer really came
+      // from the next cascade level; without pressure it just means the
+      // greedy bound was already optimal — not a degradation.
+      if (st->greedy_fallback && (st->lp_budget_hit || st->deadline_hit)) {
+        resilience.solver_used = st->greedy_degraded
+                                     ? CascadeLevel::kDuplication
+                                     : CascadeLevel::kGreedy;
+      }
+      return sol;
+    }
+  }
+
+  // Greedy level (requested directly or reached by fallback).
+  GreedyOptions greedy = opts.algo.greedy;
+  if (deadline.armed() && !greedy.deadline.armed()) greedy.deadline = deadline;
+  GreedyStats gs;
+  auto sol = greedy_cover(table, greedy, &gs);
+  if (resilience.solver_used != CascadeLevel::kGreedy &&
+      level == SolverKind::kGreedy) {
+    resilience.solver_used = level_of(level);
+  }
+  if (gs.deadline_hit) {
+    resilience.record(Stage::kGreedy, StatusCode::kTruncated,
+                      "greedy search out of time; closed out with " +
+                          std::to_string(gs.single_bit_completions) +
+                          " single-bit functions (duplication-style floor)",
+                      seconds_since(t0), table.cases.size());
+    resilience.solver_used = CascadeLevel::kDuplication;
+  }
+  if (stats) {
+    stats->final_q = static_cast<int>(sol.size());
+    stats->greedy_fallback = true;
+    stats->deadline_hit = stats->deadline_hit || gs.deadline_hit;
+    stats->greedy_degraded = stats->greedy_degraded || gs.deadline_hit;
+  }
+  return sol;
+}
 
 std::vector<ParityFunc> select_parities(const DetectabilityTable& table,
                                         SolverKind solver,
                                         const Algorithm1Options& algo,
                                         Algorithm1Stats* stats,
                                         std::span<const ParityFunc> warm_start) {
-  switch (solver) {
-    case SolverKind::kGreedy:
-      return greedy_cover(table, algo.greedy);
-    case SolverKind::kExact: {
-      if (auto sol = exact_min_cover(table)) {
-        if (stats) stats->final_q = static_cast<int>(sol->size());
-        return *sol;
-      }
-      return minimize_parity_functions(table, algo, stats, warm_start);
-    }
-    case SolverKind::kLpRounding:
-      return minimize_parity_functions(table, algo, stats, warm_start);
-  }
-  return {};
+  PipelineOptions opts;
+  opts.solver = solver;
+  opts.algo = algo;
+  ResilienceReport scratch;
+  return select_parities_resilient(table, opts, algo.deadline, stats,
+                                   warm_start, scratch);
 }
 
 PipelineReport run_pipeline(const fsm::Fsm& f, const PipelineOptions& opts) {
@@ -87,38 +263,74 @@ PipelineReport run_pipeline(const fsm::Fsm& f, const PipelineOptions& opts) {
 std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
                                               std::span<const int> latencies,
                                               const PipelineOptions& opts) {
-  auto t0 = std::chrono::steady_clock::now();
-  const fsm::FsmCircuit circuit = fsm::synthesize_fsm(f, opts.encoding,
-                                                      opts.synth);
-  const double t_synth = seconds_since(t0);
-
-  const std::vector<sim::StuckAtFault> faults =
-      sim::enumerate_stuck_at(circuit.netlist, opts.faults);
-
-  const int p_max = *std::max_element(latencies.begin(), latencies.end());
-  ExtractOptions ex = opts.extract;
-  ex.latency = p_max;
-  t0 = std::chrono::steady_clock::now();
-  const std::vector<DetectabilityTable> tables =
-      extract_cases_multi(circuit, faults, ex);
-  const double t_extract = seconds_since(t0);
-
-  std::vector<PipelineReport> reports;
-  std::vector<ParityFunc> warm;
+  if (latencies.empty()) return {};
+  const Deadline deadline = Deadline::from(opts.budget);
   for (int p : latencies) {
-    const DetectabilityTable& table = tables[static_cast<std::size_t>(p - 1)];
-    // A cover for latency p stays valid at p+1 (detecting at step 1 is
-    // always allowed), so sweeping in ascending order lets each latency
-    // warm-start from the previous solution; q(p) becomes monotone.
-    const bool ascending = warm.empty() || p >= reports.back().latency;
-    PipelineReport rep =
-        report_for(circuit, faults, table, opts, warm, ascending);
-    rep.t_synth = t_synth;
-    rep.t_extract = t_extract;
-    warm = rep.parities;
-    reports.push_back(std::move(rep));
+    if (p < 1 || p > kMaxLatency) {
+      return classified_reports(
+          latencies, opts,
+          Status::invalid_input(Stage::kPipeline,
+                                "latency bound " + std::to_string(p) +
+                                    " out of range [1, " +
+                                    std::to_string(kMaxLatency) + "]"));
+    }
   }
-  return reports;
+
+  try {
+    auto t0 = std::chrono::steady_clock::now();
+    const fsm::FsmCircuit circuit = fsm::synthesize_fsm(f, opts.encoding,
+                                                        opts.synth);
+    const double t_synth = seconds_since(t0);
+    if (circuit.n() > 64) {
+      return classified_reports(
+          latencies, opts,
+          Status::invalid_input(Stage::kSynth,
+                                "more than 64 observable bits"));
+    }
+
+    const std::vector<sim::StuckAtFault> faults =
+        sim::enumerate_stuck_at(circuit.netlist, opts.faults);
+
+    const int p_max = *std::max_element(latencies.begin(), latencies.end());
+    ExtractOptions ex = opts.extract;
+    ex.latency = p_max;
+    ex.deadline = deadline;
+    if (opts.budget.max_cases > 0) ex.max_cases = opts.budget.max_cases;
+    t0 = std::chrono::steady_clock::now();
+    const std::vector<DetectabilityTable> tables =
+        extract_cases_multi(circuit, faults, ex);
+    const double t_extract = seconds_since(t0);
+    const bool any_truncated =
+        std::any_of(tables.begin(), tables.end(),
+                    [](const DetectabilityTable& t) { return t.truncated; });
+
+    std::vector<PipelineReport> reports;
+    std::vector<ParityFunc> warm;
+    for (int p : latencies) {
+      const DetectabilityTable& table =
+          tables[static_cast<std::size_t>(p - 1)];
+      // A cover for latency p stays valid at p+1 (detecting at step 1 is
+      // always allowed), so sweeping in ascending order lets each latency
+      // warm-start from the previous solution; q(p) becomes monotone. The
+      // unverified assignment shortcut additionally requires every table of
+      // the sweep to be complete (truncated tables lose the containment
+      // argument between latencies).
+      const bool ascending = warm.empty() || p >= reports.back().latency;
+      PipelineReport rep = report_for(circuit, faults, table, opts, deadline,
+                                      warm, ascending && !any_truncated);
+      rep.t_synth = t_synth;
+      rep.t_extract = t_extract;
+      warm = rep.parities;
+      reports.push_back(std::move(rep));
+    }
+    return reports;
+  } catch (const std::invalid_argument& e) {
+    return classified_reports(
+        latencies, opts, Status::invalid_input(Stage::kPipeline, e.what()));
+  } catch (const std::exception& e) {
+    return classified_reports(latencies, opts,
+                              Status::internal(Stage::kPipeline, e.what()));
+  }
 }
 
 }  // namespace ced::core

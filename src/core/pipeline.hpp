@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "core/algorithm1.hpp"
+#include "core/exact.hpp"
 #include "core/extract.hpp"
 #include "core/parity_synth.hpp"
+#include "core/resilience.hpp"
 #include "fsm/synthesize.hpp"
 #include "sim/faults.hpp"
 
@@ -26,10 +28,15 @@ struct PipelineOptions {
   int latency = 1;
   SolverKind solver = SolverKind::kLpRounding;
   Algorithm1Options algo;
+  ExactOptions exact;      ///< used when solver == kExact
   CedSynthOptions ced;
   logic::CellLibrary library = logic::CellLibrary::mcnc();
   sim::FaultListOptions faults;
   ExtractOptions extract;  ///< .latency is overridden by `latency`
+  /// Resource budget for the whole run. When any valve trips, stages
+  /// degrade (exact -> LP+RR -> greedy -> duplication-style floor; table
+  /// truncation) instead of throwing; see PipelineReport::resilience.
+  RunBudget budget;
 };
 
 /// Everything the paper's Table 1 reports for one circuit at one latency,
@@ -52,6 +59,10 @@ struct PipelineReport {
   double ced_area = 0.0;           ///< CED hardware cost (incl. hold regs)
   std::vector<ParityFunc> parities;
   Algorithm1Stats algo_stats;
+
+  /// Which budget valves fired, which cascade level answered, and the
+  /// overall status classification for this report.
+  ResilienceReport resilience;
 
   // Wall-clock seconds per stage.
   double t_synth = 0, t_extract = 0, t_solve = 0, t_ced = 0;
@@ -77,5 +88,20 @@ std::vector<ParityFunc> select_parities(const DetectabilityTable& table,
                                         const Algorithm1Options& algo,
                                         Algorithm1Stats* stats = nullptr,
                                         std::span<const ParityFunc> warm_start = {});
+
+/// The degradation cascade: runs the requested solver under the budget,
+/// falling back exact -> LP+RR -> greedy -> duplication-style single-bit
+/// floor when a budget valve trips or a level cannot certify an answer.
+/// Always returns a complete cover of `table` (possibly the floor) and
+/// records every downgrade in `resilience`.
+std::vector<ParityFunc> select_parities_resilient(
+    const DetectabilityTable& table, const PipelineOptions& opts,
+    const Deadline& deadline, Algorithm1Stats* stats,
+    std::span<const ParityFunc> warm_start, ResilienceReport& resilience);
+
+/// The always-feasible answer-quality floor: one single-bit parity function
+/// per needed observable bit (the shape of duplicate-and-compare). Computed
+/// in one pass over the table; covers every case unconditionally.
+std::vector<ParityFunc> duplication_floor_cover(const DetectabilityTable& table);
 
 }  // namespace ced::core

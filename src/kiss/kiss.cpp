@@ -31,6 +31,7 @@ Kiss2 parse(std::string_view text) {
   bool saw_i = false;
   bool saw_o = false;
   bool ended = false;
+  std::unordered_set<std::string> seen_rows;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -82,6 +83,12 @@ Kiss2 parse(std::string_view text) {
           static_cast<int>(t.output.size()) != k.num_outputs) {
         fail(line_no, "bad output pattern '" + t.output + "'");
       }
+      // A deterministic machine cannot fire two rows from the same state on
+      // the same input cube; an exact duplicate is always a file error.
+      if (!seen_rows.insert(t.current + '\x01' + t.input).second) {
+        fail(line_no, "duplicate transition for state '" + t.current +
+                          "' on input '" + t.input + "'");
+      }
       k.transitions.push_back(std::move(t));
     }
   }
@@ -108,6 +115,14 @@ Kiss2 parse(std::string_view text) {
     throw std::runtime_error("kiss2: .s does not match state count");
   }
   return k;
+}
+
+Result<Kiss2> try_parse(std::string_view text) {
+  try {
+    return parse(text);
+  } catch (const std::exception& e) {
+    return Status::invalid_input(Stage::kParse, e.what());
+  }
 }
 
 std::string write(const Kiss2& k) {

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.hpp"
+
 namespace ced::kiss {
 
 /// One symbolic state-transition-graph edge as written in a KISS2 file.
@@ -26,8 +28,14 @@ struct Kiss2 {
 };
 
 /// Parses KISS2 text. Throws std::runtime_error with a line-numbered message
-/// on malformed input; validates `.p`/`.s` declarations when present.
+/// on malformed input; validates `.p`/`.s` declarations when present and
+/// rejects exact duplicate (input cube, present state) transition rows.
 Kiss2 parse(std::string_view text);
+
+/// Non-throwing variant: malformed input yields a Status with code
+/// kInvalidInput, stage kParse, and the same line-numbered diagnostic the
+/// throwing parser would have raised.
+Result<Kiss2> try_parse(std::string_view text);
 
 /// Serializes back to KISS2 text (including `.p`, `.s`, `.r`).
 std::string write(const Kiss2& k);

@@ -263,6 +263,12 @@ LpResult solve(const LpProblem& p, const SolverOptions& opts) {
 
   int iter = 0;
   int stall = 0;
+  const bool has_deadline =
+      opts.deadline != std::chrono::steady_clock::time_point::max();
+  auto out_of_time = [&] {
+    return has_deadline && (iter & 255) == 0 &&
+           std::chrono::steady_clock::now() >= opts.deadline;
+  };
 
   // ---- Phase 1: minimize sum of artificials (skipped when none exist).
   std::vector<double> cost1(static_cast<std::size_t>(n), 0.0);
@@ -286,8 +292,9 @@ LpResult solve(const LpProblem& p, const SolverOptions& opts) {
     double last_obj = phase_objective(tb, cost1);
     for (;; ++iter) {
       if (iter > opts.max_iterations) {
-        return LpResult{Status::kIterLimit, 0, {}};
+        return LpResult{Status::kIterLimit, 0, {}, iter};
       }
+      if (out_of_time()) return LpResult{Status::kTimeLimit, 0, {}, iter};
       const StepResult sr = step(tb, opts.eps, stall > 2 * (m + n));
       if (sr == StepResult::kOptimal) break;
       if (sr == StepResult::kUnbounded) break;  // cannot happen in phase 1
@@ -300,7 +307,7 @@ LpResult solve(const LpProblem& p, const SolverOptions& opts) {
       }
     }
     if (phase_objective(tb, cost1) > 1e-6) {
-      return LpResult{Status::kInfeasible, 0, {}};
+      return LpResult{Status::kInfeasible, 0, {}, iter};
     }
 
     // Pin artificials to zero so they never re-enter with positive value.
@@ -340,11 +347,14 @@ LpResult solve(const LpProblem& p, const SolverOptions& opts) {
   stall = 0;
   double last_obj = phase_objective(tb, cost2);
   for (;; ++iter) {
-    if (iter > opts.max_iterations) return LpResult{Status::kIterLimit, 0, {}};
+    if (iter > opts.max_iterations) {
+      return LpResult{Status::kIterLimit, 0, {}, iter};
+    }
+    if (out_of_time()) return LpResult{Status::kTimeLimit, 0, {}, iter};
     const StepResult sr = step(tb, opts.eps, stall > 2 * (m + n));
     if (sr == StepResult::kOptimal) break;
     if (sr == StepResult::kUnbounded) {
-      return LpResult{Status::kUnbounded, 0, {}};
+      return LpResult{Status::kUnbounded, 0, {}, iter};
     }
     const double obj = phase_objective(tb, cost2);
     if (obj < last_obj - 1e-12) {
@@ -363,6 +373,7 @@ LpResult solve(const LpProblem& p, const SolverOptions& opts) {
   }
   LpResult res;
   res.status = Status::kOptimal;
+  res.iterations = iter;
   res.x.resize(static_cast<std::size_t>(nv));
   for (int j = 0; j < nv; ++j) {
     double v = y[static_cast<std::size_t>(j)];

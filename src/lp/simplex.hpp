@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <limits>
 #include <string>
 #include <utility>
@@ -12,7 +13,7 @@ enum class Relation { kLe, kGe, kEq };
 
 enum class Objective { kMinimize, kMaximize };
 
-enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit, kTimeLimit };
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
@@ -58,6 +59,11 @@ class LpProblem {
 struct SolverOptions {
   int max_iterations = 200000;
   double eps = 1e-9;
+  /// Absolute wall-clock deadline checked cooperatively every few hundred
+  /// pivots; when it passes, the solve stops with Status::kTimeLimit
+  /// instead of running to optimality. Defaults to "never".
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 struct LpResult {
@@ -66,6 +72,9 @@ struct LpResult {
   /// Values of the problem variables (size = num_variables()) when
   /// status is kOptimal.
   std::vector<double> x;
+  /// Simplex pivots consumed (both phases), whatever the outcome — the
+  /// budget accounting callers report in resilience diagnostics.
+  int iterations = 0;
 };
 
 /// Solves the LP. Deterministic.

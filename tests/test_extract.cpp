@@ -235,13 +235,34 @@ TEST(Extract, RejectsBadLatency) {
   EXPECT_THROW(extract_cases(c, faults, opts), std::invalid_argument);
 }
 
-TEST(Extract, CaseLimitEnforced) {
+TEST(Extract, CaseLimitTruncatesInsteadOfThrowing) {
   const fsm::FsmCircuit c = circuit_for("link_rx");
   const auto faults = sim::enumerate_stuck_at(c.netlist);
   ExtractOptions opts;
   opts.latency = 3;
-  opts.max_cases = 5;
-  EXPECT_THROW(extract_cases(c, faults, opts), std::runtime_error);
+  ExtractOptions limited = opts;
+  limited.max_cases = 5;
+  const DetectabilityTable full = extract_cases(c, faults, opts);
+  const DetectabilityTable cut = extract_cases(c, faults, limited);
+  ASSERT_GT(full.cases.size(), limited.max_cases)
+      << "fixture too small to exercise the limit";
+  EXPECT_FALSE(full.truncated);
+  EXPECT_TRUE(cut.truncated);
+  EXPECT_FALSE(cut.truncation_reason.empty());
+  // The truncated table holds a usable prefix: nonempty, no larger than the
+  // full table, and every retained case also appears in the full extraction.
+  EXPECT_FALSE(cut.cases.empty());
+  EXPECT_LE(cut.cases.size(), full.cases.size());
+  for (const auto& ec : cut.cases) {
+    bool found = false;
+    for (const auto& ref : full.cases) {
+      if (ec == ref) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
 }
 
 TEST(Extract, UnrestrictedActivationsSupersetReachable) {

@@ -1,0 +1,109 @@
+// Negative-test corpus for the KISS2 parser: truncated files, inconsistent
+// declared counts, duplicate transitions, non-binary cubes, and assorted
+// garbage. Every entry must produce a clean line-numbered diagnostic —
+// via exception from parse() and via Status from try_parse() — never a
+// crash, hang, or silently wrong machine.
+
+#include "kiss/kiss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ced::kiss {
+namespace {
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  const char* expect_in_message;  ///< substring the diagnostic must carry
+};
+
+const std::vector<BadCase>& corpus() {
+  static const std::vector<BadCase> cases = {
+      {"empty-file", "", ".i/.o"},
+      {"header-only", ".i 1\n.o 1\n", "no transitions"},
+      {"truncated-transition", ".i 2\n.o 1\n01 s0\n", "4 fields"},
+      {"transition-before-header", "0 s0 s1 1\n.i 1\n.o 1\n",
+       ".i/.o must precede"},
+      {"missing-i", ".o 1\n0 s0 s0 1\n", ".i/.o must precede"},
+      {"bad-i-count", ".i zero\n.o 1\n0 s0 s0 1\n", "bad .i"},
+      {"negative-i", ".i -2\n.o 1\n0 s0 s0 1\n", "bad .i"},
+      {"bad-o-count", ".i 1\n.o x\n0 s0 s0 1\n", "bad .o"},
+      {"bad-p-count", ".i 1\n.o 1\n.p many\n0 s0 s0 1\n", "bad .p"},
+      {"p-mismatch", ".i 1\n.o 1\n.p 3\n0 s0 s0 1\n1 s0 s0 0\n",
+       ".p does not match"},
+      {"s-mismatch", ".i 1\n.o 1\n.s 5\n0 s0 s1 1\n1 s1 s0 0\n",
+       ".s does not match"},
+      {"bad-r-state", ".i 1\n.o 1\n.r ghost\n0 s0 s0 1\n",
+       "reset state never appears"},
+      {"unknown-directive", ".i 1\n.o 1\n.clock 5\n0 s0 s0 1\n",
+       "unknown directive"},
+      {"non-binary-input-cube", ".i 2\n.o 1\n0x s0 s0 1\n", "bad input cube"},
+      {"wrong-input-width", ".i 3\n.o 1\n01 s0 s0 1\n", "bad input cube"},
+      {"non-binary-output", ".i 1\n.o 2\n0 s0 s0 2-\n", "bad output"},
+      {"wrong-output-width", ".i 1\n.o 2\n0 s0 s0 111\n", "bad output"},
+      {"duplicate-transition", ".i 1\n.o 1\n0 s0 s1 1\n0 s0 s0 0\n",
+       "duplicate transition"},
+      {"duplicate-dash-cube", ".i 2\n.o 1\n-- s0 s0 1\n-- s0 s1 0\n",
+       "duplicate transition"},
+      {"content-after-end", ".i 1\n.o 1\n0 s0 s0 1\n.e\n1 s0 s0 0\n",
+       "after .e"},
+  };
+  return cases;
+}
+
+TEST(KissMalformed, ParseThrowsWithDiagnostic) {
+  for (const BadCase& c : corpus()) {
+    try {
+      (void)parse(c.text);
+      FAIL() << c.name << ": expected a parse error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_in_message),
+                std::string::npos)
+          << c.name << ": diagnostic was '" << e.what() << "'";
+    }
+  }
+}
+
+TEST(KissMalformed, TryParseReturnsInvalidInputStatus) {
+  for (const BadCase& c : corpus()) {
+    const Result<Kiss2> r = try_parse(c.text);
+    ASSERT_FALSE(r) << c.name;
+    EXPECT_EQ(r.status().code, StatusCode::kInvalidInput) << c.name;
+    EXPECT_EQ(r.status().stage, Stage::kParse) << c.name;
+    EXPECT_NE(r.status().message.find(c.expect_in_message), std::string::npos)
+        << c.name << ": diagnostic was '" << r.status().message << "'";
+  }
+}
+
+TEST(KissMalformed, LineNumberPointsAtOffendingRow) {
+  const Result<Kiss2> r =
+      try_parse(".i 1\n.o 1\n0 s0 s1 1\n1 s1 s0 0\nbad s1 s0 0\n");
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.status().message.find("line 5"), std::string::npos)
+      << r.status().message;
+}
+
+TEST(KissMalformed, TryParseAcceptsWellFormedInput) {
+  const Result<Kiss2> r = try_parse(
+      ".i 1\n.o 1\n.p 2\n.s 2\n.r s0\n0 s0 s1 1\n1 s1 s0 0\n.e\n");
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r->transitions.size(), 2u);
+  EXPECT_EQ(r->reset_state, "s0");
+}
+
+TEST(KissMalformed, DistinctCubesSameStateAreNotDuplicates) {
+  // Overlapping-but-different cubes are the writer's business; only exact
+  // (state, cube) repeats are rejected.
+  const Result<Kiss2> r =
+      try_parse(".i 2\n.o 1\n0- s0 s1 1\n-0 s0 s0 0\n");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->transitions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ced::kiss

@@ -3,13 +3,24 @@
 //   ced_cli protect  <machine.kiss> [--latency=N] [--solver=lp|greedy|exact]
 //                    [--encoding=binary|gray|onehot|spread] [--semantics=impl|machine]
 //                    [--minimize-states] [--area-aware] [--verify]
+//                    [--budget-seconds=F] [--max-cases=N] [--max-lp-iters=N]
+//                    [--max-roundings=N] [--max-exact-nodes=N]
 //   ced_cli analyze  <machine.kiss>
 //   ced_cli generate --states=N --inputs=N --outputs=N [--seed=N] [--self-loops=F]
+//   ced_cli help
 //
 // `protect` runs the full bounded-latency CED pipeline and prints the
 // chosen parity functions and hardware costs; `analyze` prints STG and
 // synthesis statistics; `generate` emits a synthetic KISS2 benchmark to
 // stdout. A file name of "-" reads the machine from stdin.
+//
+// Exit codes:
+//   0  success, full-quality result
+//   1  degraded/truncated result (a budget valve fired, a solver fell back
+//      down the cascade, or --verify found violations) — still usable, the
+//      resilience report on stderr says exactly what happened
+//   2  invalid input (unreadable file, malformed KISS2, bad flags)
+//   3  internal error
 
 #include <cstdio>
 #include <cstring>
@@ -31,6 +42,18 @@ namespace {
 
 using namespace ced;
 
+constexpr int kExitOk = 0;
+constexpr int kExitDegraded = 1;
+constexpr int kExitInvalidInput = 2;
+constexpr int kExitInternal = 3;
+
+/// Thrown for problems in what the user handed us (files, flags, KISS2
+/// text) so main() can map them to kExitInvalidInput instead of the
+/// blanket internal-error path.
+struct InvalidInputError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -39,10 +62,50 @@ int usage() {
                "          [--encoding=binary|gray|onehot|spread] "
                "[--semantics=impl|machine]\n"
                "          [--minimize-states] [--area-aware] [--verify]\n"
+               "          [--budget-seconds=F] [--max-cases=N] "
+               "[--max-lp-iters=N]\n"
+               "          [--max-roundings=N] [--max-exact-nodes=N]\n"
                "  ced_cli analyze <machine.kiss>\n"
                "  ced_cli generate --states=N --inputs=N --outputs=N "
-               "[--seed=N] [--self-loops=F]\n");
-  return 2;
+               "[--seed=N] [--self-loops=F]\n"
+               "  ced_cli help      full flag reference incl. budget table\n");
+  return kExitInvalidInput;
+}
+
+int cmd_help() {
+  std::printf(
+      "ced_cli — bounded-latency concurrent error detection driver\n"
+      "\n"
+      "Exit codes: 0 ok, 1 degraded/truncated result, 2 invalid input,\n"
+      "            3 internal error.\n"
+      "\n"
+      "Budget flags (protect): every limit is cooperative — when it trips,\n"
+      "the stage keeps its partial results and the solver cascade degrades\n"
+      "exact -> lp+rounding -> greedy -> duplication-style floor instead of\n"
+      "aborting. A degraded run exits 1 and prints a resilience report on\n"
+      "stderr.\n"
+      "\n"
+      "  flag                 default    meaning\n"
+      "  --budget-seconds=F   unlimited  wall-clock budget for the whole "
+      "run\n"
+      "  --max-cases=N        5000000    erroneous-case cap per table; on\n"
+      "                                  overflow the table truncates and\n"
+      "                                  keeps the cases found so far\n"
+      "  --max-lp-iters=N     200000     simplex pivot cap per LP solve\n"
+      "  --max-roundings=N    40         randomized-rounding attempts per\n"
+      "                                  LP solution\n"
+      "  --max-exact-nodes=N  50000000   branch-and-bound node cap for\n"
+      "                                  --solver=exact\n"
+      "\n"
+      "Other protect flags:\n"
+      "  --latency=N          2          detection-latency bound p\n"
+      "  --solver=KIND        lp         lp | greedy | exact\n"
+      "  --encoding=KIND      binary     binary | gray | onehot | spread\n"
+      "  --semantics=KIND     impl       impl | machine (see DESIGN.md)\n"
+      "  --minimize-states               merge compatible states first\n"
+      "  --area-aware                    area-driven parity refinement\n"
+      "  --verify                        sequential bounded-latency proof\n");
+  return kExitOk;
 }
 
 std::string arg_value(int argc, char** argv, const char* key,
@@ -71,12 +134,20 @@ fsm::Fsm load_machine(const std::string& path) {
     text = ss.str();
   } else {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("cannot open " + path);
+    if (!in) throw InvalidInputError("cannot open " + path);
     std::ostringstream ss;
     ss << in.rdbuf();
     text = ss.str();
   }
-  return fsm::Fsm::from_kiss(kiss::parse(text));
+  const Result<kiss::Kiss2> parsed = kiss::try_parse(text);
+  if (!parsed) {
+    throw InvalidInputError(parsed.status().to_text());
+  }
+  try {
+    return fsm::Fsm::from_kiss(*parsed);
+  } catch (const std::exception& e) {
+    throw InvalidInputError(std::string("invalid machine: ") + e.what());
+  }
 }
 
 int cmd_analyze(int argc, char** argv) {
@@ -105,7 +176,25 @@ int cmd_analyze(int argc, char** argv) {
   const auto la = core::analyze_useful_latency(c, faults, lo);
   std::printf("collapsed stuck-at faults: %zu; max useful CED latency: %d\n",
               faults.size(), la.max_useful_latency);
-  return 0;
+  return kExitOk;
+}
+
+core::RunBudget budget_from_args(int argc, char** argv) {
+  // Negative or unparsable values mean "no limit" (same as 0) rather than
+  // wrapping to a huge unsigned cap.
+  const auto count = [&](const char* key) -> long long {
+    const long long v = std::atoll(arg_value(argc, argv, key, "0").c_str());
+    return v > 0 ? v : 0;
+  };
+  core::RunBudget b;
+  const double secs =
+      std::atof(arg_value(argc, argv, "--budget-seconds", "0").c_str());
+  b.wall_seconds = secs > 0.0 ? secs : 0.0;
+  b.max_cases = static_cast<std::size_t>(count("--max-cases"));
+  b.max_lp_iterations = static_cast<int>(count("--max-lp-iters"));
+  b.max_rounding_attempts = static_cast<int>(count("--max-roundings"));
+  b.max_exact_nodes = static_cast<std::size_t>(count("--max-exact-nodes"));
+  return b;
 }
 
 int cmd_protect(int argc, char** argv) {
@@ -133,8 +222,20 @@ int cmd_protect(int argc, char** argv) {
   if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
     opts.extract.semantics = core::DiffSemantics::kMachineLevel;
   }
+  opts.budget = budget_from_args(argc, argv);
 
   const core::PipelineReport rep = core::run_pipeline(f, opts);
+  const core::ResilienceReport& res = rep.resilience;
+  if (res.status.code == StatusCode::kInvalidInput) {
+    std::fprintf(stderr, "error: %s\n", res.status.to_text().c_str());
+    return kExitInvalidInput;
+  }
+  if (res.status.code == StatusCode::kInternal ||
+      res.status.code == StatusCode::kInfeasible) {
+    std::fprintf(stderr, "error: %s\n", res.status.to_text().c_str());
+    return kExitInternal;
+  }
+
   std::printf("original: %zu gates, area %.1f\n", rep.orig_gates,
               rep.orig_area);
   std::printf("faults: %zu collapsed stuck-at; erroneous cases: %zu\n",
@@ -147,7 +248,11 @@ int cmd_protect(int argc, char** argv) {
   }
   std::printf("CED hardware: %zu gates, area %.1f (%.1f%% of original)\n",
               rep.ced_gates, rep.ced_area,
-              100.0 * rep.ced_area / rep.orig_area);
+              rep.orig_area > 0 ? 100.0 * rep.ced_area / rep.orig_area : 0.0);
+
+  if (res.degraded()) {
+    std::fputs(res.summary().c_str(), stderr);
+  }
 
   const fsm::FsmCircuit circuit =
       fsm::synthesize_fsm(f, opts.encoding, opts.synth);
@@ -162,6 +267,7 @@ int cmd_protect(int argc, char** argv) {
                 aa.initial_area, aa.final_area, aa.evaluations);
   }
 
+  bool verify_failed = false;
   if (has_flag(argc, argv, "--verify")) {
     const core::CedHardware hw =
         core::synthesize_ced(circuit, rep.parities, opts.ced);
@@ -171,9 +277,9 @@ int cmd_protect(int argc, char** argv) {
                 "%zu false alarms -> %s\n",
                 vr.activations_checked, vr.violations, vr.false_alarms,
                 vr.ok() ? "OK" : "FAILED");
-    return vr.ok() ? 0 : 1;
+    verify_failed = !vr.ok();
   }
-  return 0;
+  return (res.degraded() || verify_failed) ? kExitDegraded : kExitOk;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -187,8 +293,12 @@ int cmd_generate(int argc, char** argv) {
   spec.self_loop_bias =
       std::atof(arg_value(argc, argv, "--self-loops", "0.2").c_str());
   spec.branches = std::atoi(arg_value(argc, argv, "--branches", "5").c_str());
-  std::fputs(benchdata::generate_kiss(spec).c_str(), stdout);
-  return 0;
+  try {
+    std::fputs(benchdata::generate_kiss(spec).c_str(), stdout);
+  } catch (const std::invalid_argument& e) {
+    throw InvalidInputError(e.what());
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -199,9 +309,19 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
     if (std::strcmp(argv[1], "protect") == 0) return cmd_protect(argc, argv);
     if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
-  } catch (const std::exception& e) {
+    if (std::strcmp(argv[1], "help") == 0 ||
+        std::strcmp(argv[1], "--help") == 0) {
+      return cmd_help();
+    }
+  } catch (const InvalidInputError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInvalidInput;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: invalid input: %s\n", e.what());
+    return kExitInvalidInput;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternal;
   }
   return usage();
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the sanitizer pass.
+#
+#   tools/ci.sh            # plain build + full ctest, then ASan+UBSan build
+#                          # + full ctest under sanitizers
+#   tools/ci.sh --fast     # sanitizer pass runs only the resilience and
+#                          # parser suites (the crash-prone surface)
+#
+# Run from anywhere; paths resolve relative to the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== tier-1: plain build + tests =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+echo "== sanitizers: ASan + UBSan =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$jobs"
+if [[ "$fast" == 1 ]]; then
+  ctest --preset asan-ubsan -j "$jobs" -R 'Resilience|KissMalformed|KissParse'
+else
+  ctest --preset asan-ubsan -j "$jobs"
+fi
+
+echo "ci: all green"
