@@ -23,11 +23,16 @@ int main(int argc, char** argv) {
 
   double fn_red = 0, cost_red = 0;
   std::size_t count = 0;
-  for (const auto& name : circuits) {
+  core::PipelineOptions opts;
+  opts.latency = 1;
+  // The expensive pipeline runs fan out across circuits; the cheap
+  // duplication baselines are computed serially below, in print order.
+  const auto sweeps = bench::sweep_suite(circuits, {1}, opts,
+                                         bench::threads_from_args(argc, argv));
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    const auto& name = circuits[c];
     const fsm::Fsm f = benchdata::suite_fsm(name);
-    core::PipelineOptions opts;
-    opts.latency = 1;
-    const core::PipelineReport rep = core::run_pipeline(f, opts);
+    const core::PipelineReport& rep = sweeps[c][0];
 
     const fsm::FsmCircuit circuit =
         fsm::synthesize_fsm(f, opts.encoding, opts.synth);

@@ -1,0 +1,181 @@
+// Perf-trajectory harness: per-circuit wall-clock of the pipeline's hot
+// stages (extraction / solve / CED synthesis) at a ladder of thread counts,
+// plus the final q, emitted both as a human table and as machine-readable
+// JSON (BENCH_perf.json) so the repo has a perf history to track across
+// changes.
+//
+//   bench_perf [--quick|--circuits=a,b,c] [--threads=N] [--latency=P]
+//              [--out=path.json]
+//
+// --threads caps the ladder (default: CED_THREADS env or hardware
+// concurrency); the ladder is 1, 2, 4, ... up to that cap, cap included.
+// Every run at every thread count must produce the same q — the harness
+// exits 1 on a determinism mismatch or a degraded run, 0 otherwise.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "common/parallel.hpp"
+
+namespace {
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return fallback;
+}
+
+std::vector<int> thread_ladder(int max_threads) {
+  std::vector<int> ladder;
+  for (int t = 1; t < max_threads; t *= 2) ladder.push_back(t);
+  ladder.push_back(max_threads);
+  return ladder;
+}
+
+struct Run {
+  int threads = 0;
+  double t_synth = 0, t_extract = 0, t_solve = 0, t_ced = 0, t_total = 0;
+  std::vector<int> qs;
+  bool degraded = false;
+};
+
+struct CircuitPerf {
+  std::string name;
+  std::size_t num_cases = 0;
+  std::vector<Run> runs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ced;
+  const auto circuits = bench::circuits_from_args(argc, argv);
+  const int max_threads =
+      resolve_threads(bench::threads_from_args(argc, argv));
+  const int p_max = std::atoi(arg_value(argc, argv, "--latency", "3").c_str());
+  const std::string out_path =
+      arg_value(argc, argv, "--out", "BENCH_perf.json");
+  std::vector<int> ps;
+  for (int p = 1; p <= std::max(p_max, 1); ++p) ps.push_back(p);
+  const auto ladder = thread_ladder(max_threads);
+
+  std::printf("Pipeline wall-clock vs worker threads (latency sweep 1..%d)\n",
+              p_max);
+  std::printf("%-8s | %7s | %9s %9s %9s %9s | %s\n", "Circuit", "threads",
+              "extract_s", "solve_s", "ced_s", "total_s", "q(1..p)");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  std::vector<CircuitPerf> perf;
+  bool failed = false;
+  for (const auto& name : circuits) {
+    CircuitPerf cp;
+    cp.name = name;
+    for (const int threads : ladder) {
+      core::PipelineOptions opts;
+      opts.threads = threads;
+      Run run;
+      run.threads = threads;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto reps = bench::sweep_circuit(name, ps, opts);
+      run.t_total =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      for (const auto& r : reps) {
+        run.qs.push_back(r.num_trees);
+        run.t_solve += r.t_solve;
+        run.t_ced += r.t_ced;
+        run.degraded = run.degraded || r.resilience.degraded();
+      }
+      if (!reps.empty()) {
+        run.t_synth = reps.back().t_synth;
+        run.t_extract = reps.back().t_extract;  // extracted once per sweep
+        cp.num_cases = reps.back().num_cases;
+      }
+      std::string qs_text;
+      for (const int q : run.qs) {
+        qs_text += (qs_text.empty() ? "" : ",") + std::to_string(q);
+      }
+      std::printf("%-8s | %7d | %9.3f %9.3f %9.3f %9.3f | %s%s\n",
+                  name.c_str(), threads, run.t_extract, run.t_solve, run.t_ced,
+                  run.t_total, qs_text.c_str(), run.degraded ? " *" : "");
+      std::fflush(stdout);
+      if (run.degraded) failed = true;
+      if (!cp.runs.empty() && cp.runs.front().qs != run.qs) {
+        std::fprintf(stderr,
+                     "[bench_perf] %s: q differs between threads=%d and "
+                     "threads=%d — determinism violation\n",
+                     name.c_str(), cp.runs.front().threads, threads);
+        failed = true;
+      }
+      cp.runs.push_back(std::move(run));
+    }
+    perf.push_back(std::move(cp));
+  }
+
+  // Headline: extraction+solve speedup at the top of the ladder on the
+  // largest instance (most erroneous cases — the circuit the paper's
+  // tables sweat over is also the one parallelism must pay off on).
+  if (!perf.empty() && ladder.size() > 1) {
+    const CircuitPerf* largest = &perf.front();
+    for (const auto& cp : perf) {
+      if (cp.num_cases > largest->num_cases) largest = &cp;
+    }
+    const Run& serial = largest->runs.front();
+    const Run& wide = largest->runs.back();
+    const double before = serial.t_extract + serial.t_solve;
+    const double after = wide.t_extract + wide.t_solve;
+    if (after > 0.0) {
+      std::printf("%s\n", std::string(76, '-').c_str());
+      std::printf(
+          "largest circuit %s: extract+solve %.3fs @1 thread -> %.3fs @%d "
+          "threads (%.2fx)\n",
+          largest->name.c_str(), before, after, wide.threads, before / after);
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench_perf] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"ced-bench-perf-v1\",\n");
+  std::fprintf(out, "  \"latency_max\": %d,\n", p_max);
+  std::fprintf(out, "  \"hardware_threads\": %d,\n", resolve_threads(0));
+  std::fprintf(out, "  \"circuits\": [\n");
+  for (std::size_t c = 0; c < perf.size(); ++c) {
+    const auto& cp = perf[c];
+    std::fprintf(out, "    {\"name\": \"%s\", \"cases\": %zu, \"runs\": [\n",
+                 cp.name.c_str(), cp.num_cases);
+    for (std::size_t i = 0; i < cp.runs.size(); ++i) {
+      const Run& r = cp.runs[i];
+      std::fprintf(out,
+                   "      {\"threads\": %d, \"t_synth\": %.6f, "
+                   "\"t_extract\": %.6f, \"t_solve\": %.6f, \"t_ced\": %.6f, "
+                   "\"t_total\": %.6f, \"q\": [",
+                   r.threads, r.t_synth, r.t_extract, r.t_solve, r.t_ced,
+                   r.t_total);
+      for (std::size_t k = 0; k < r.qs.size(); ++k) {
+        std::fprintf(out, "%s%d", k ? ", " : "", r.qs[k]);
+      }
+      std::fprintf(out, "], \"degraded\": %s}%s\n",
+                   r.degraded ? "true" : "false",
+                   i + 1 < cp.runs.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", c + 1 < perf.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return failed ? 1 : 0;
+}

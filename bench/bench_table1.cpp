@@ -41,8 +41,13 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   bool degraded = false;
 
-  for (const auto& name : circuits) {
-    const auto reps = bench::sweep_circuit(name, ps, opts);
+  // All circuits sweep concurrently (--threads=N / CED_THREADS); results
+  // come back in input order so the table prints identically at any count.
+  const auto sweeps =
+      bench::sweep_suite(circuits, ps, opts, bench::threads_from_args(argc, argv));
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    const auto& name = circuits[c];
+    const auto& reps = sweeps[c];
     degraded = degraded || bench::any_degraded(reps);
     const auto& r1 = reps[0];
     const auto& r2 = reps[1];

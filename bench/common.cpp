@@ -1,6 +1,9 @@
 #include "common.hpp"
 
+#include <cstdlib>
 #include <cstring>
+
+#include "common/parallel.hpp"
 
 namespace ced::bench {
 
@@ -9,6 +12,16 @@ bool quick_mode(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) return true;
   }
   return false;
+}
+
+int threads_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int v = std::atoi(argv[i] + 10);
+      return v >= 1 ? v : 0;
+    }
+  }
+  return 0;
 }
 
 std::vector<std::string> circuits_from_args(int argc, char** argv) {
@@ -63,6 +76,18 @@ std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
     }
   }
   return reps;
+}
+
+std::vector<std::vector<core::PipelineReport>> sweep_suite(
+    const std::vector<std::string>& names, const std::vector<int>& ps,
+    core::PipelineOptions opts, int threads) {
+  const int workers = resolve_threads(threads);
+  core::PipelineOptions inner = opts;
+  if (workers > 1 && names.size() > 1) inner.threads = 1;
+  std::vector<std::vector<core::PipelineReport>> out(names.size());
+  parallel_for(workers, names.size(),
+               [&](std::size_t i) { out[i] = sweep_circuit(names[i], ps, inner); });
+  return out;
 }
 
 bool any_degraded(const std::vector<core::PipelineReport>& reps) {

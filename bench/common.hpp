@@ -21,12 +21,27 @@ std::vector<std::string> circuits_from_args(int argc, char** argv);
 /// True when --quick was passed.
 bool quick_mode(int argc, char** argv);
 
+/// Parses --threads=N (how many workers the harness may use). Returns 0
+/// when absent or non-positive, meaning "auto": the CED_THREADS environment
+/// variable if set, otherwise hardware concurrency.
+int threads_from_args(int argc, char** argv);
+
 /// Runs the shared-extraction latency sweep for one circuit with the given
 /// latencies, printing progress to stderr.
 std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
                                                 const std::vector<int>& ps,
                                                 core::PipelineOptions opts =
                                                     {});
+
+/// Runs sweep_circuit for every name concurrently — one circuit per worker
+/// — and returns the per-circuit reports in input order, so harness tables
+/// print identically at every thread count. When more than one worker runs,
+/// the inner pipelines are forced serial (opts.threads = 1) to avoid
+/// oversubscribing the machine; with one worker the inner thread setting
+/// passes through untouched.
+std::vector<std::vector<core::PipelineReport>> sweep_suite(
+    const std::vector<std::string>& names, const std::vector<int>& ps,
+    core::PipelineOptions opts = {}, int threads = 0);
 
 /// Percent change helper: 100 * (from - to) / from (positive = reduction).
 double reduction_pct(double from, double to);

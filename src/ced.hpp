@@ -5,7 +5,9 @@
 /// Pull in everything; fine-grained headers remain available for
 /// compile-time-sensitive consumers.
 
-// Structured status/result types shared by every layer.
+// Structured status/result types shared by every layer, and the
+// thread-pool-free parallel-for used by the hot paths.
+#include "common/parallel.hpp"
 #include "common/status.hpp"
 
 // Logic substrate: cubes/covers, minimizers, netlists, optimization,

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ced {
+
+/// Resolves a requested worker count to a concrete one:
+///   requested >= 1  ->  exactly that many workers (1 = fully serial)
+///   requested <= 0  ->  the CED_THREADS environment variable if set and
+///                       positive, otherwise std::thread::hardware_concurrency
+/// The result is always >= 1, so callers can divide by it unconditionally.
+inline int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("CED_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+/// Runs fn(index) for every index in [0, n), distributed over `threads`
+/// workers. Indices are claimed dynamically (atomic counter), so uneven
+/// per-item cost balances itself; callers that need determinism must make
+/// fn(i) depend only on i, never on claim order. With threads <= 1 (or a
+/// single item) the loop runs inline on the calling thread — no pool, no
+/// atomics — so serial behaviour and serial performance are preserved.
+///
+/// The first exception thrown by any fn(i) is rethrown on the calling
+/// thread after every worker has joined; remaining items are abandoned.
+template <typename Fn>
+void parallel_for(int threads, std::size_t n, Fn&& fn) {
+  threads = resolve_threads(threads);
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads),
+                                             n));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::atomic<bool> error_claimed{false};
+  auto body = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error_claimed.exchange(true, std::memory_order_acq_rel)) {
+          error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(body);
+  body();
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+/// Contiguous block partition of [0, n) into `shards` ranges; shard i is
+/// [bounds[i], bounds[i+1]). Deterministic in (n, shards): the parallel
+/// extraction relies on this so a fixed thread count always produces the
+/// same per-worker fault lists.
+inline std::vector<std::size_t> shard_bounds(std::size_t n, int shards) {
+  if (shards < 1) shards = 1;
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(shards) + 1, 0);
+  for (int i = 0; i <= shards; ++i) {
+    bounds[static_cast<std::size_t>(i)] =
+        n * static_cast<std::size_t>(i) / static_cast<std::size_t>(shards);
+  }
+  return bounds;
+}
+
+/// Runs fn(shard, begin, end) for every nonempty shard of the contiguous
+/// block partition of [0, n), one worker per shard, concurrently. Exception
+/// semantics match parallel_for.
+template <typename Fn>
+void parallel_shards(int threads, std::size_t n, Fn&& fn) {
+  const int shards = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(resolve_threads(threads)),
+                            n == 0 ? 1 : n));
+  const auto bounds = shard_bounds(n, shards);
+  parallel_for(shards, static_cast<std::size_t>(shards), [&](std::size_t s) {
+    const std::size_t begin = bounds[s];
+    const std::size_t end = bounds[s + 1];
+    if (begin < end) fn(static_cast<int>(s), begin, end);
+  });
+}
+
+}  // namespace ced

@@ -1,7 +1,9 @@
 #include "core/algorithm1.hpp"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/parallel.hpp"
 #include "core/rng.hpp"
 
 namespace ced::core {
@@ -84,7 +86,11 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
   if (table.cases.empty()) return std::vector<ParityFunc>{};
   if (q <= 0) return std::nullopt;
 
-  Rng rng(opts.seed ^ (static_cast<std::uint64_t>(q) << 32));
+  // Base stream for this q; every rounding trial forks its own child
+  // stream from (base, round, trial-index), so trials are independent and
+  // reproducible regardless of how they are scheduled across threads.
+  const Rng base(opts.seed ^ (static_cast<std::uint64_t>(q) << 32));
+  const int threads = resolve_threads(opts.threads);
   std::vector<std::uint32_t> rows =
       hardest_rows(table, static_cast<std::size_t>(opts.lp_sample_rows));
   std::vector<bool> in_lp(table.cases.size(), false);
@@ -150,26 +156,56 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
     }
     const auto x = beta_values(f, res);
 
-    for (int it = 0; it < opts.iter; ++it) {
-      if (opts.deadline.expired()) {
-        if (stats) stats->deadline_hit = true;
-        break;
-      }
+    // Algorithm 1's ITER trials are mutually independent given the LP
+    // solution, so run them concurrently: each trial rounds with its own
+    // derived Rng stream and is screened against a snapshot of the sample
+    // rows. The sequential resolution below walks trials in index order —
+    // first full-check success by lowest trial index wins — so the outcome
+    // is identical for every thread count.
+    struct Trial {
+      std::vector<ParityFunc> betas;
+      std::vector<std::uint32_t> uncov;
+      bool ran = false;
+    };
+    std::vector<Trial> trials(static_cast<std::size_t>(std::max(opts.iter, 0)));
+    const std::vector<std::uint32_t> screen = check_rows;
+    std::atomic<int> executed{0};
+    parallel_for(threads, trials.size(), [&](std::size_t it) {
+      if (opts.deadline.expired()) return;  // trial skipped, noted below
       const double blend =
-          opts.iter <= 1 ? 0.0
-                         : 0.5 * std::max(0.0, (2.0 * it - opts.iter) /
-                                                   static_cast<double>(opts.iter));
-      std::vector<ParityFunc> betas = round_once(x, blend, rng);
-      if (stats) ++stats->roundings;
-      const auto uncov = uncovered_among(betas, table, check_rows);
-      if (uncov.empty() && full_check(betas)) {
-        return prune_redundant(betas, table);
+          opts.iter <= 1
+              ? 0.0
+              : 0.5 * std::max(0.0, (2.0 * static_cast<double>(it) -
+                                     opts.iter) /
+                                        static_cast<double>(opts.iter));
+      Rng trial_rng = base.stream(
+          (static_cast<std::uint64_t>(round) << 32) + it);
+      Trial& tr = trials[it];
+      tr.betas = round_once(x, blend, trial_rng);
+      tr.uncov = uncovered_among(tr.betas, table, screen);
+      tr.ran = true;
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    if (stats) stats->roundings += executed.load(std::memory_order_relaxed);
+    bool trials_skipped = false;
+    for (Trial& tr : trials) {
+      if (!tr.ran) {
+        trials_skipped = true;
+        continue;
       }
-      if (uncov.size() < best_uncovered &&
-          betas.size() <= static_cast<std::size_t>(q)) {
-        best_uncovered = uncov.size();
-        best_attempt = betas;
+      if (tr.uncov.empty() && full_check(tr.betas)) {
+        return prune_redundant(tr.betas, table);
       }
+      if (tr.uncov.size() < best_uncovered &&
+          tr.betas.size() <= static_cast<std::size_t>(q)) {
+        best_uncovered = tr.uncov.size();
+        best_attempt = std::move(tr.betas);
+      }
+    }
+    if (trials_skipped) {
+      if (stats) stats->deadline_hit = true;
+      // Out of time mid-batch: fall through to row generation once, the
+      // outer loop's own deadline check ends the search.
     }
 
     // Row generation: add the hardest still-violated sample rows of the

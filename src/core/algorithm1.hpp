@@ -37,6 +37,12 @@ struct Algorithm1Options {
   /// the reduced one. Slower; primarily for equivalence testing.
   bool use_statement5 = false;
   std::uint64_t seed = 0xced;
+  /// Worker threads for the randomized-rounding trials. Each trial draws
+  /// from its own Rng stream derived from (seed, q, round, trial-index) and
+  /// the first success by lowest trial index wins, so the selected parities
+  /// are identical for every thread count (1 = serial, 0 = CED_THREADS env
+  /// or hardware concurrency).
+  int threads = 0;
   lp::SolverOptions lp;
   GreedyOptions greedy;
   /// Wall-clock budget for the whole Algorithm-1 search (forwarded to the

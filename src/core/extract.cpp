@@ -1,8 +1,15 @@
 #include "core/extract.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
+
+#include "common/parallel.hpp"
 
 namespace ced::core {
 namespace {
@@ -85,35 +92,125 @@ ErroneousCase canonicalize(const std::uint64_t* diffs, int len) {
   return ec;
 }
 
-class Extractor {
+/// True if some nonempty proper subset of ec's word set is already a
+/// case: that case implies ec (odd overlap with the subset's word is odd
+/// overlap with ec's), making ec a redundant row.
+bool dominated(const ErroneousCase& ec, const CaseSet& set) {
+  const unsigned full = (1u << ec.length) - 1;
+  for (unsigned mask = 1; mask < full; ++mask) {
+    ErroneousCase sub;
+    int m = 0;
+    for (int k = 0; k < ec.length; ++k) {
+      if ((mask >> k) & 1) {
+        sub.diff[static_cast<std::size_t>(m++)] =
+            ec.diff[static_cast<std::size_t>(k)];
+      }
+    }
+    sub.length = static_cast<std::uint8_t>(m);
+    if (set.count(sub)) return true;
+  }
+  return false;
+}
+
+/// Rebuilds a set keeping only subset-minimal cases.
+void compact(CaseSet& set) {
+  CaseSet kept;
+  kept.reserve(set.size());
+  for (const auto& ec : set) {
+    if (!dominated(ec, set)) kept.insert(ec);
+  }
+  set = std::move(kept);
+}
+
+/// Strengthens a case to its `k` smallest difference words (sound: it
+/// only removes detection alternatives).
+ErroneousCase strengthen(const ErroneousCase& ec, int k) {
+  if (ec.length <= k) return ec;
+  ErroneousCase s;
+  s.length = static_cast<std::uint8_t>(k);
+  for (int i = 0; i < k; ++i) {
+    s.diff[static_cast<std::size_t>(i)] = ec.diff[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+/// Budget state shared by every extraction worker. All flags and counters
+/// are polled with relaxed atomics — a tripped valve stops the workers
+/// cooperatively (each notices at its next check), which is exactly the
+/// partial-but-honest truncation semantics of the serial path.
+struct SharedValves {
+  explicit SharedValves(std::size_t num_tables)
+      : frozen(num_tables), reasons(num_tables) {}
+
+  /// Global stop: every table frozen, or the deadline fired.
+  std::atomic<bool> stop{false};
+  /// Per-table freeze flags: a frozen table accepts no further cases
+  /// anywhere; workers keep the rows found so far.
+  std::vector<std::atomic<bool>> frozen;
+  /// Live erroneous cases across all workers' sets (inserts minus cases
+  /// removed by compaction) — the concurrent form of the serial
+  /// `set.size() > max_cases` valve.
+  std::atomic<std::int64_t> cases{0};
+
+  std::mutex reason_mu;
+  std::vector<std::string> reasons;  ///< first freeze reason per table
+
+  bool all_frozen() const {
+    for (const auto& f : frozen) {
+      if (!f.load(std::memory_order_relaxed)) return false;
+    }
+    return true;
+  }
+
+  /// Freezes table t (first caller's reason wins) and stops the run once
+  /// every table is frozen.
+  void freeze(std::size_t t, const std::string& reason) {
+    bool expected = false;
+    if (frozen[t].compare_exchange_strong(expected, true,
+                                          std::memory_order_relaxed)) {
+      const std::lock_guard<std::mutex> lock(reason_mu);
+      reasons[t] = reason;
+    }
+    if (all_frozen()) stop.store(true, std::memory_order_relaxed);
+  }
+};
+
+/// One extraction worker: walks its shard of the fault list with a private
+/// FaultyCache per fault and private per-latency case sets, reading golden
+/// rows through a GoldenView over the pre-populated shared cache. Identical
+/// to the old serial Extractor except that the budget valves live in
+/// SharedValves.
+class ShardWorker {
  public:
-  Extractor(const fsm::FsmCircuit& circuit, const ExtractOptions& opts,
-            std::vector<DetectabilityTable>& tables)
-      : circuit_(circuit), opts_(opts), tables_(tables), golden_(circuit),
+  ShardWorker(const fsm::FsmCircuit& circuit, const ExtractOptions& opts,
+              const sim::GoldenCache& shared_golden,
+              std::span<const std::uint64_t> activation_codes,
+              SharedValves& valves, int num_shards)
+      : circuit_(circuit), opts_(opts), golden_(shared_golden),
+        activation_codes_(activation_codes), valves_(valves),
+        tables_(static_cast<std::size_t>(opts.latency)),
         sets_(static_cast<std::size_t>(opts.latency)),
         compact_threshold_(static_cast<std::size_t>(opts.latency),
                            kCompactStart),
         max_words_(static_cast<std::size_t>(opts.latency), kMaxLatency),
-        frozen_(static_cast<std::size_t>(opts.latency), false) {}
+        // Per-worker share of the degradation threshold so K workers
+        // together hold at most ~degrade_threshold live cases. A single
+        // shard keeps the exact serial threshold.
+        degrade_threshold_(
+            num_shards <= 1
+                ? opts.degrade_threshold
+                : std::max<std::size_t>(
+                      opts.degrade_threshold /
+                          static_cast<std::size_t>(num_shards),
+                      1024)) {}
 
   void run(std::span<const sim::StuckAtFault> faults) {
-    std::vector<std::uint64_t> activation_codes;
-    if (opts_.restrict_to_reachable) {
-      activation_codes =
-          sim::reachable_codes(circuit_, circuit_.enc.reset_code);
-    } else {
-      for (std::uint64_t c = 0; c <= circuit_.state_mask(); ++c) {
-        activation_codes.push_back(c);
-      }
-    }
-
-    for (auto& t : tables_) t.num_faults = faults.size();
     for (const auto& f : faults) {
-      if (stop_) break;
+      if (stopped()) break;
       sim::FaultyCache faulty(circuit_, f);
       bool detectable = false;
-      for (std::uint64_t c : activation_codes) {
-        if (stop_) break;
+      for (std::uint64_t c : activation_codes_) {
+        if (stopped()) break;
         check_deadline();
         const auto classes = step_classes(golden_.rows(c), faulty.rows(c),
                                           circuit_, opts_.semantics);
@@ -134,31 +231,28 @@ class Extractor {
         for (auto& t : tables_) ++t.num_detectable_faults;
       }
     }
-
-    for (int p = 1; p <= opts_.latency; ++p) {
-      auto& t = tables_[static_cast<std::size_t>(p - 1)];
-      auto& set = sets_[static_cast<std::size_t>(p - 1)];
-      compact(set);  // drop supersets that arrived before their subsets
-      t.cases.assign(set.begin(), set.end());
-      std::sort(t.cases.begin(), t.cases.end(),
-                [](const ErroneousCase& a, const ErroneousCase& b) {
-                  if (a.length != b.length) return a.length < b.length;
-                  return a.diff < b.diff;
-                });
-    }
   }
 
+  const std::vector<DetectabilityTable>& tables() const { return tables_; }
+  std::vector<CaseSet>& sets() { return sets_; }
+
  private:
+  bool stopped() const { return valves_.stop.load(std::memory_order_relaxed); }
+
+  bool frozen(std::size_t t) const {
+    return valves_.frozen[t].load(std::memory_order_relaxed);
+  }
+
   /// Extends the current path from `pair` at step index `depth`
   /// (diffs_[0..depth-1] and path_states_[0..depth-1] are filled).
   void descend(sim::FaultyCache& faulty, const Pair& pair, int depth) {
-    if (depth == opts_.latency || stop_) return;
+    if (depth == opts_.latency || stopped()) return;
     if ((++tick_ & 1023u) == 0) check_deadline();
     const auto classes = step_classes(golden_.rows(pair.good),
                                       faulty.rows(pair.bad), circuit_,
                                       opts_.semantics);
     for (const auto& cls : classes) {
-      if (stop_) return;
+      if (stopped()) return;
       diffs_[static_cast<std::size_t>(depth)] = cls.diff;
       record(depth + 1);
       bool loop = false;
@@ -188,7 +282,9 @@ class Extractor {
   /// would be recorded into tables len+1..p, each as a superset of the
   /// prefix's word set. If every one of those tables already requires the
   /// prefix set itself or a subset of it, all extensions are dominated rows
-  /// there and the subtree contributes nothing.
+  /// there and the subtree contributes nothing. (Workers only see their own
+  /// cases, so this prunes less under sharding — the pruned rows are
+  /// dominated ones, which the deterministic merge compacts away anyway.)
   bool extensions_redundant(int len) {
     if (len + 1 > opts_.latency) return false;  // no extensions anyway
     const ErroneousCase prefix = canonicalize(diffs_.data(), len);
@@ -206,85 +302,42 @@ class Extractor {
     insert(canonicalize(diffs_.data(), len), len);
   }
 
-  /// True if some nonempty proper subset of ec's word set is already a
-  /// case: that case implies ec (odd overlap with the subset's word is odd
-  /// overlap with ec's), making ec a redundant row.
-  static bool dominated(const ErroneousCase& ec, const CaseSet& set) {
-    const unsigned full = (1u << ec.length) - 1;
-    for (unsigned mask = 1; mask < full; ++mask) {
-      ErroneousCase sub;
-      int m = 0;
-      for (int k = 0; k < ec.length; ++k) {
-        if ((mask >> k) & 1) {
-          sub.diff[static_cast<std::size_t>(m++)] =
-              ec.diff[static_cast<std::size_t>(k)];
-        }
-      }
-      sub.length = static_cast<std::uint8_t>(m);
-      if (set.count(sub)) return true;
-    }
-    return false;
-  }
-
-  /// Rebuilds a set keeping only subset-minimal cases.
-  static void compact(CaseSet& set) {
-    CaseSet kept;
-    kept.reserve(set.size());
-    for (const auto& ec : set) {
-      if (!dominated(ec, set)) kept.insert(ec);
-    }
-    set = std::move(kept);
-  }
-
-  /// Strengthens a case to its `k` smallest difference words (sound: it
-  /// only removes detection alternatives).
-  static ErroneousCase strengthen(const ErroneousCase& ec, int k) {
-    if (ec.length <= k) return ec;
-    ErroneousCase s;
-    s.length = static_cast<std::uint8_t>(k);
-    for (int i = 0; i < k; ++i) {
-      s.diff[static_cast<std::size_t>(i)] = ec.diff[static_cast<std::size_t>(i)];
-    }
-    return s;
-  }
-
-  /// Freezes table `t`: no further cases are accepted, the rows found so
-  /// far stand, and the truncation is reported instead of thrown.
-  void freeze(std::size_t t, const std::string& reason) {
-    if (frozen_[t]) return;
-    frozen_[t] = true;
-    tables_[t].truncated = true;
-    tables_[t].truncation_reason = reason;
-    bool all = true;
-    for (std::size_t i = 0; i < frozen_.size(); ++i) {
-      if (!frozen_[i]) all = false;
-    }
-    if (all) stop_ = true;
-  }
-
   /// Cooperative wall-clock check: on expiry, every still-open table is
-  /// frozen with its partial contents and the DFS unwinds.
+  /// frozen with its partial contents and all workers' DFS unwinds.
   void check_deadline() {
-    if (stop_ || !opts_.deadline.armed() || !opts_.deadline.expired()) return;
-    for (std::size_t t = 0; t < frozen_.size(); ++t) {
-      freeze(t, "wall-clock budget exhausted during extraction");
+    if (stopped() || !opts_.deadline.armed() || !opts_.deadline.expired()) {
+      return;
     }
-    stop_ = true;
+    for (std::size_t t = 0; t < valves_.frozen.size(); ++t) {
+      valves_.freeze(t, "wall-clock budget exhausted during extraction");
+    }
+    valves_.stop.store(true, std::memory_order_relaxed);
+  }
+
+  /// Applies a local set-size change to the shared live-case counter.
+  void credit_cases(std::int64_t before, std::int64_t after) {
+    if (after != before) {
+      valves_.cases.fetch_add(after - before, std::memory_order_relaxed);
+    }
   }
 
   void insert(ErroneousCase ec, int latency) {
     const auto t = static_cast<std::size_t>(latency - 1);
-    if (frozen_[t]) return;
+    if (frozen(t)) return;
     auto& set = sets_[t];
     ec = strengthen(ec, max_words_[t]);
     if (dominated(ec, set)) return;
+    const auto before = static_cast<std::int64_t>(set.size());
     set.insert(ec);
+    credit_cases(before, static_cast<std::int64_t>(set.size()));
     auto& threshold = compact_threshold_[t];
     if (set.size() > threshold) {
+      const auto pre = static_cast<std::int64_t>(set.size());
       compact(set);
+      credit_cases(pre, static_cast<std::int64_t>(set.size()));
       threshold = std::max<std::size_t>(2 * set.size(), kCompactStart);
     }
-    while (set.size() > opts_.degrade_threshold && max_words_[t] > 1) {
+    while (set.size() > degrade_threshold_ && max_words_[t] > 1) {
       // Degrade: strengthen every case of this table to fewer words and
       // rebuild the subset-minimal antichain.
       --max_words_[t];
@@ -293,16 +346,25 @@ class Extractor {
       rebuilt.reserve(set.size());
       for (const auto& c : set) rebuilt.insert(strengthen(c, max_words_[t]));
       compact(rebuilt);
+      const auto pre = static_cast<std::int64_t>(set.size());
       set = std::move(rebuilt);
+      credit_cases(pre, static_cast<std::int64_t>(set.size()));
       threshold = std::max<std::size_t>(2 * set.size(), kCompactStart);
     }
-    if (set.size() > opts_.max_cases) {
-      // Recoverable truncation (the old behaviour threw here): keep the
-      // subset-minimal cases found so far and freeze this table.
+    if (static_cast<std::size_t>(std::max<std::int64_t>(
+            valves_.cases.load(std::memory_order_relaxed), 0)) >
+        opts_.max_cases) {
+      // Recoverable truncation (the old behaviour threw here): compact this
+      // worker's set first; if the global count still overflows, keep the
+      // subset-minimal cases found so far and freeze the table everywhere.
+      const auto pre = static_cast<std::int64_t>(set.size());
       compact(set);
-      if (set.size() > opts_.max_cases) {
-        freeze(t,
-               "erroneous-case limit (" + std::to_string(opts_.max_cases) +
+      credit_cases(pre, static_cast<std::int64_t>(set.size()));
+      if (static_cast<std::size_t>(std::max<std::int64_t>(
+              valves_.cases.load(std::memory_order_relaxed), 0)) >
+          opts_.max_cases) {
+        valves_.freeze(
+            t, "erroneous-case limit (" + std::to_string(opts_.max_cases) +
                    ") exceeded; table holds the cases found so far");
       }
     }
@@ -312,13 +374,14 @@ class Extractor {
 
   const fsm::FsmCircuit& circuit_;
   const ExtractOptions& opts_;
-  std::vector<DetectabilityTable>& tables_;
-  sim::GoldenCache golden_;
+  sim::GoldenView golden_;
+  std::span<const std::uint64_t> activation_codes_;
+  SharedValves& valves_;
+  std::vector<DetectabilityTable> tables_;  ///< local statistics only
   std::vector<CaseSet> sets_;
   std::vector<std::size_t> compact_threshold_;
   std::vector<int> max_words_;
-  std::vector<bool> frozen_;
-  bool stop_ = false;
+  const std::size_t degrade_threshold_;
   std::uint32_t tick_ = 0;
   std::array<std::uint64_t, kMaxLatency> diffs_{};
   std::array<Pair, kMaxLatency + 1> path_states_{};
@@ -340,9 +403,81 @@ std::vector<DetectabilityTable> extract_cases_multi(
   for (int p = 1; p <= opts.latency; ++p) {
     tables[static_cast<std::size_t>(p - 1)].num_bits = circuit.n();
     tables[static_cast<std::size_t>(p - 1)].latency = p;
+    tables[static_cast<std::size_t>(p - 1)].num_faults = faults.size();
   }
-  Extractor ex(circuit, opts, tables);
-  ex.run(faults);
+
+  std::vector<std::uint64_t> activation_codes;
+  if (opts.restrict_to_reachable) {
+    activation_codes = sim::reachable_codes(circuit, circuit.enc.reset_code);
+  } else {
+    for (std::uint64_t c = 0; c <= circuit.state_mask(); ++c) {
+      activation_codes.push_back(c);
+    }
+  }
+
+  // The golden model is shared read-only state across workers: simulate
+  // every activation code up front so the fan-out only reads it. (Faulty
+  // walks can still reach codes outside this set; those go through each
+  // worker's private GoldenView overlay.)
+  sim::GoldenCache golden(circuit);
+  golden.populate(activation_codes);
+
+  // Shard the fault list in fixed contiguous blocks. The shard partition —
+  // not the execution interleaving — determines each worker's output, and
+  // the merged, compacted, sorted case lists are identical for every shard
+  // count (see DESIGN.md: the final antichain of subset-minimal canonical
+  // cases is invariant under enumeration order).
+  const int threads = resolve_threads(opts.threads);
+  const int num_shards = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(threads), faults.empty() ? 1 : faults.size()));
+  SharedValves valves(static_cast<std::size_t>(opts.latency));
+
+  std::vector<std::unique_ptr<ShardWorker>> workers(
+      static_cast<std::size_t>(num_shards));
+  const auto bounds = shard_bounds(faults.size(), num_shards);
+  parallel_for(num_shards, workers.size(), [&](std::size_t s) {
+    auto worker = std::make_unique<ShardWorker>(
+        circuit, opts, golden, activation_codes, valves, num_shards);
+    worker->run(faults.subspan(bounds[s], bounds[s + 1] - bounds[s]));
+    workers[s] = std::move(worker);
+  });
+
+  // Deterministic merge in fixed shard order, then the same
+  // compact-and-sort finish as the serial path: byte-identical tables for
+  // any thread count.
+  for (int p = 1; p <= opts.latency; ++p) {
+    const auto t = static_cast<std::size_t>(p - 1);
+    auto& table = tables[t];
+    CaseSet merged;
+    for (auto& w : workers) {
+      auto& set = w->sets()[t];
+      merged.insert(set.begin(), set.end());
+      set.clear();
+      const DetectabilityTable& lt = w->tables()[t];
+      table.num_activations += lt.num_activations;
+      table.num_paths += lt.num_paths;
+      table.num_loop_truncations += lt.num_loop_truncations;
+      table.strengthened = table.strengthened || lt.strengthened;
+      if (p == 1) table.num_detectable_faults += lt.num_detectable_faults;
+    }
+    compact(merged);  // drop supersets that arrived before their subsets
+    table.cases.assign(merged.begin(), merged.end());
+    std::sort(table.cases.begin(), table.cases.end(),
+              [](const ErroneousCase& a, const ErroneousCase& b) {
+                if (a.length != b.length) return a.length < b.length;
+                return a.diff < b.diff;
+              });
+    if (valves.frozen[t].load(std::memory_order_relaxed)) {
+      table.truncated = true;
+      table.truncation_reason = valves.reasons[t];
+    }
+  }
+  // num_detectable_faults is a per-fault property, identical for every
+  // latency; mirror the p=1 sum into the other tables.
+  for (int p = 2; p <= opts.latency; ++p) {
+    tables[static_cast<std::size_t>(p - 1)].num_detectable_faults =
+        tables[0].num_detectable_faults;
+  }
   return tables;
 }
 

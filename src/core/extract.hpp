@@ -57,6 +57,15 @@ struct ExtractOptions {
   /// Cooperative wall-clock budget: when it expires mid-DFS, extraction
   /// stops and every table still open is marked truncated.
   Deadline deadline;
+  /// Worker threads for the per-fault enumeration (faults are sharded in
+  /// fixed blocks across workers and the per-worker case sets merged
+  /// deterministically). 1 = serial, 0 = CED_THREADS env or hardware
+  /// concurrency (see common/parallel.hpp). The resulting `cases` vectors
+  /// are identical for every thread count on non-truncated runs; the
+  /// path-enumeration statistics (num_paths, num_loop_truncations) depend
+  /// on the shard partition because subtree pruning only sees a worker's
+  /// own cases.
+  int threads = 0;
 };
 
 /// The error detectability table of Fig. 2: the union of all erroneous

@@ -180,6 +180,7 @@ std::vector<ParityFunc> select_parities_resilient(
       level = SolverKind::kGreedy;
     } else {
       Algorithm1Options algo = opts.algo;
+      algo.threads = opts.threads;
       if (deadline.armed() && !algo.deadline.armed()) algo.deadline = deadline;
       if (opts.budget.max_lp_iterations > 0) {
         algo.lp.max_iterations = opts.budget.max_lp_iterations;
@@ -250,6 +251,7 @@ std::vector<ParityFunc> select_parities(const DetectabilityTable& table,
   PipelineOptions opts;
   opts.solver = solver;
   opts.algo = algo;
+  opts.threads = algo.threads;
   ResilienceReport scratch;
   return select_parities_resilient(table, opts, algo.deadline, stats,
                                    warm_start, scratch);
@@ -295,6 +297,7 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
     ExtractOptions ex = opts.extract;
     ex.latency = p_max;
     ex.deadline = deadline;
+    ex.threads = opts.threads;
     if (opts.budget.max_cases > 0) ex.max_cases = opts.budget.max_cases;
     t0 = std::chrono::steady_clock::now();
     const std::vector<DetectabilityTable> tables =

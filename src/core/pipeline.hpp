@@ -33,6 +33,13 @@ struct PipelineOptions {
   logic::CellLibrary library = logic::CellLibrary::mcnc();
   sim::FaultListOptions faults;
   ExtractOptions extract;  ///< .latency is overridden by `latency`
+  /// Worker threads for the parallel stages (erroneous-case extraction and
+  /// randomized-rounding trials): 1 = serial, 0 = CED_THREADS env or
+  /// hardware concurrency, otherwise exactly that many. Overrides the
+  /// `threads` members of `extract` and `algo`. Results (tables, parities,
+  /// CED hardware) are identical for every thread count on non-truncated
+  /// runs; only wall-clock changes.
+  int threads = 0;
   /// Resource budget for the whole run. When any valve trips, stages
   /// degrade (exact -> LP+RR -> greedy -> duplication-style floor; table
   /// truncation) instead of throwing; see PipelineReport::resilience.

@@ -7,10 +7,38 @@ namespace ced::core {
 /// Small deterministic xorshift64* PRNG. All randomized stages of the
 /// library draw from this so runs are reproducible from a seed; nothing
 /// reads entropy from the environment.
+///
+/// Seeds are run through a splitmix64 finalizer before use: the raw seed
+/// value is an *identifier*, not the xorshift state. The old `seed | 1`
+/// initialization aliased seed 0 onto seed 1 and gave adjacent seeds
+/// heavily correlated streams (xorshift only slowly diffuses single-bit
+/// state differences); the mixer decorrelates them, which the concurrent
+/// rounding and per-worker streams rely on (one stream per (seed, index)).
 struct Rng {
-  std::uint64_t state = 0x5eed;
+  std::uint64_t state = 0;
 
-  explicit Rng(std::uint64_t seed = 0x5eed) : state(seed | 1) {}
+  /// splitmix64 finalizer: a bijective 64-bit mix with full avalanche.
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  explicit Rng(std::uint64_t seed = 0x5eed) : state(mix(seed)) {
+    // xorshift64* requires nonzero state; mix() maps exactly one input to 0.
+    if (state == 0) state = 0x9e3779b97f4a7c15ull;
+  }
+
+  /// Decorrelated child stream, deterministic in (this stream's seed,
+  /// index): used to give each rounding trial / worker its own
+  /// reproducible sequence regardless of execution order.
+  Rng stream(std::uint64_t index) const {
+    Rng child(0);
+    child.state = mix(state ^ mix(index));
+    if (child.state == 0) child.state = 0x9e3779b97f4a7c15ull;
+    return child;
+  }
 
   std::uint64_t next() {
     state ^= state >> 12;

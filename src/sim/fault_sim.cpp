@@ -63,6 +63,16 @@ const std::vector<std::uint64_t>& GoldenCache::rows(std::uint64_t state_code) {
   return it->second;
 }
 
+void GoldenCache::populate(std::span<const std::uint64_t> state_codes) {
+  for (const std::uint64_t code : state_codes) rows(code);
+}
+
+const std::vector<std::uint64_t>* GoldenCache::find(
+    std::uint64_t state_code) const {
+  const auto it = cache_.find(state_code);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
 const std::vector<std::uint64_t>& FaultyCache::rows(std::uint64_t state_code) {
   auto it = cache_.find(state_code);
   if (it == cache_.end()) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -27,9 +28,39 @@ class GoldenCache {
   const std::vector<std::uint64_t>& rows(std::uint64_t state_code);
   const fsm::FsmCircuit& circuit() const { return circuit_; }
 
+  /// Simulates every given state code up front. After this the cache can be
+  /// read concurrently through find() — it becomes immutable shared state
+  /// for the parallel extraction fan-out.
+  void populate(std::span<const std::uint64_t> state_codes);
+
+  /// Read-only lookup; nullptr when the code was never simulated. Safe to
+  /// call from multiple threads as long as no thread calls rows()/populate()
+  /// concurrently.
+  const std::vector<std::uint64_t>* find(std::uint64_t state_code) const;
+
  private:
   const fsm::FsmCircuit& circuit_;
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> cache_;
+};
+
+/// A worker's view of the golden model: reads hit the shared pre-populated
+/// GoldenCache (immutable during the fan-out, so lock-free), and codes
+/// outside the pre-populated set — faulty walks can drag the reference
+/// through states the fault-free machine never visits — fall back to a
+/// private per-worker cache.
+class GoldenView {
+ public:
+  explicit GoldenView(const GoldenCache& shared)
+      : shared_(shared), local_(shared.circuit()) {}
+
+  const std::vector<std::uint64_t>& rows(std::uint64_t state_code) {
+    if (const auto* r = shared_.find(state_code)) return *r;
+    return local_.rows(state_code);
+  }
+
+ private:
+  const GoldenCache& shared_;
+  GoldenCache local_;
 };
 
 /// Per-fault memo of faulty transition responses keyed by state code.

@@ -1,0 +1,253 @@
+// The parallel runtime: the parallel_for utility itself, cross-thread-count
+// determinism of extraction and parity selection, budget starvation under
+// concurrency, and the splitmix64-mixed Rng streams the workers rely on.
+
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "benchdata/handwritten.hpp"
+#include "benchdata/suite.hpp"
+#include "core/extract.hpp"
+#include "core/pipeline.hpp"
+#include "core/rng.hpp"
+#include "kiss/kiss.hpp"
+#include "sim/faults.hpp"
+
+namespace ced {
+namespace {
+
+fsm::FsmCircuit circuit_for(const std::string& name) {
+  const fsm::Fsm f =
+      fsm::Fsm::from_kiss(kiss::parse(benchdata::handwritten_kiss(name)));
+  return fsm::synthesize_fsm(f, fsm::EncodingKind::kBinary, {});
+}
+
+// ---------------------------------------------------------------- utility
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(threads, hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(4, 64,
+                   [&](std::size_t i) {
+                     if (i % 3 == 0) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialDegradationRunsInline) {
+  // threads=1 must not spawn: the loop body sees the calling thread's
+  // stack/thread-locals and runs in index order.
+  std::vector<std::size_t> order;
+  parallel_for(1, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ShardBounds, PartitionIsContiguousAndComplete) {
+  for (std::size_t n : {0u, 1u, 5u, 64u, 101u}) {
+    for (int shards : {1, 2, 4, 9}) {
+      const auto b = shard_bounds(n, shards);
+      ASSERT_EQ(b.size(), static_cast<std::size_t>(shards) + 1);
+      EXPECT_EQ(b.front(), 0u);
+      EXPECT_EQ(b.back(), n);
+      for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LE(b[i], b[i + 1]);
+    }
+  }
+}
+
+TEST(ResolveThreads, ExplicitRequestWinsOverEnvironment) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_GE(resolve_threads(0), 1);
+  setenv("CED_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0), 5);
+  EXPECT_EQ(resolve_threads(2), 2);  // API override beats the env
+  unsetenv("CED_THREADS");
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(ParallelExtract, TablesAreIdenticalAcrossThreadCounts) {
+  for (const char* name : {"link_rx", "traffic", "arbiter"}) {
+    const fsm::FsmCircuit c = circuit_for(name);
+    const auto faults = sim::enumerate_stuck_at(c.netlist);
+    core::ExtractOptions serial;
+    serial.latency = 3;
+    serial.threads = 1;
+    core::ExtractOptions wide = serial;
+    wide.threads = 4;
+    const auto t1 = core::extract_cases_multi(c, faults, serial);
+    const auto t4 = core::extract_cases_multi(c, faults, wide);
+    ASSERT_EQ(t1.size(), t4.size());
+    for (std::size_t p = 0; p < t1.size(); ++p) {
+      EXPECT_FALSE(t1[p].truncated);
+      EXPECT_FALSE(t4[p].truncated);
+      ASSERT_EQ(t1[p].cases.size(), t4[p].cases.size())
+          << name << " p=" << p + 1;
+      for (std::size_t i = 0; i < t1[p].cases.size(); ++i) {
+        EXPECT_TRUE(t1[p].cases[i] == t4[p].cases[i])
+            << name << " p=" << p + 1 << " row " << i;
+      }
+      // Fault/activation counts are per-fault sums, invariant under
+      // sharding (unlike num_paths, which depends on per-worker pruning).
+      EXPECT_EQ(t1[p].num_faults, t4[p].num_faults);
+      EXPECT_EQ(t1[p].num_activations, t4[p].num_activations);
+      EXPECT_EQ(t1[p].num_detectable_faults, t4[p].num_detectable_faults);
+    }
+  }
+}
+
+TEST(ParallelExtract, MachineLevelSemanticsAlsoDeterministic) {
+  const fsm::FsmCircuit c = circuit_for("link_rx");
+  const auto faults = sim::enumerate_stuck_at(c.netlist);
+  core::ExtractOptions serial;
+  serial.latency = 2;
+  serial.semantics = core::DiffSemantics::kMachineLevel;
+  serial.threads = 1;
+  core::ExtractOptions wide = serial;
+  wide.threads = 3;
+  const auto a = core::extract_cases(c, faults, serial);
+  const auto b = core::extract_cases(c, faults, wide);
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    EXPECT_TRUE(a.cases[i] == b.cases[i]);
+  }
+}
+
+TEST(ParallelPipeline, SelectedParitiesIdenticalAcrossThreadCounts) {
+  // End-to-end: same seed, threads=1 vs threads=4 must yield the same
+  // detectability tables AND the same selected parity trees for every
+  // circuit of the (quick) suite.
+  for (const auto& name : benchdata::small_suite_names()) {
+    const fsm::Fsm f = benchdata::suite_fsm(name);
+    core::PipelineOptions serial;
+    serial.latency = 2;
+    serial.threads = 1;
+    core::PipelineOptions wide = serial;
+    wide.threads = 4;
+    const auto r1 = core::run_pipeline(f, serial);
+    const auto r4 = core::run_pipeline(f, wide);
+    EXPECT_EQ(r1.num_cases, r4.num_cases) << name;
+    EXPECT_EQ(r1.num_trees, r4.num_trees) << name;
+    EXPECT_EQ(r1.parities, r4.parities) << name;
+    EXPECT_EQ(r1.ced_gates, r4.ced_gates) << name;
+  }
+}
+
+// -------------------------------------------------------------- budgets
+
+TEST(ParallelBudget, CaseValveTruncatesHonestlyUnderConcurrency) {
+  const fsm::FsmCircuit c = circuit_for("link_rx");
+  const auto faults = sim::enumerate_stuck_at(c.netlist);
+  core::ExtractOptions opts;
+  opts.latency = 3;
+  opts.threads = 4;
+  opts.max_cases = 8;  // starve: the full table is far larger
+  const auto t = core::extract_cases(c, faults, opts);
+  EXPECT_TRUE(t.truncated);
+  EXPECT_FALSE(t.truncation_reason.empty());
+  EXPECT_FALSE(t.cases.empty());
+  // The partial table is still well-formed: canonical, deduplicated rows.
+  for (const auto& ec : t.cases) {
+    ASSERT_GE(ec.length, 1);
+    EXPECT_NE(ec.diff[0], 0u);
+  }
+  for (std::size_t i = 0; i + 1 < t.cases.size(); ++i) {
+    for (std::size_t j = i + 1; j < t.cases.size(); ++j) {
+      EXPECT_FALSE(t.cases[i] == t.cases[j]);
+    }
+  }
+  // ...and a full pipeline over the starved budget still returns a valid
+  // cover of the partial table, flagged as degraded.
+  const fsm::Fsm f =
+      fsm::Fsm::from_kiss(kiss::parse(benchdata::handwritten_kiss("link_rx")));
+  core::PipelineOptions popts;
+  popts.latency = 3;
+  popts.threads = 4;
+  popts.budget.max_cases = 8;
+  const auto rep = core::run_pipeline(f, popts);
+  EXPECT_TRUE(rep.resilience.extraction_truncated);
+  EXPECT_TRUE(rep.resilience.degraded());
+  EXPECT_FALSE(rep.parities.empty());
+}
+
+TEST(ParallelBudget, DeadlineStopsAllWorkers) {
+  const fsm::FsmCircuit c = circuit_for("link_rx");
+  const auto faults = sim::enumerate_stuck_at(c.netlist);
+  core::ExtractOptions opts;
+  opts.latency = 3;
+  opts.threads = 4;
+  opts.deadline = core::Deadline::after(1e-9);  // effectively pre-expired
+  const auto tables = core::extract_cases_multi(c, faults, opts);
+  for (const auto& t : tables) {
+    EXPECT_TRUE(t.truncated);
+    EXPECT_NE(t.truncation_reason.find("wall-clock"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, SeedZeroAndOneDiffer) {
+  // The old `seed | 1` initialization aliased these two streams.
+  core::Rng a(0), b(1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, AdjacentSeedsDecorrelated) {
+  // Adjacent raw seeds must not produce near-identical first draws: count
+  // matching leading bits of the first outputs across seed pairs.
+  int shared_bits = 0;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    core::Rng a(s), b(s + 1);
+    shared_bits += std::popcount(~(a.next() ^ b.next()));
+  }
+  // Random 64-bit words share ~32 bits on average; 64 pairs ≈ 2048 total.
+  EXPECT_NEAR(shared_bits, 2048, 256);
+}
+
+TEST(Rng, DefaultSeedSequenceIsDocumented) {
+  // Regression anchor for reproducibility claims: the default-seed stream
+  // is part of the library's observable behaviour. If this changes, every
+  // randomized stage's results change — bump EXPERIMENTS.md when touching
+  // the seeding path.
+  core::Rng rng;  // seed 0x5eed through splitmix64
+  const std::uint64_t first = rng.next();
+  core::Rng again;
+  EXPECT_EQ(first, again.next());
+  core::Rng explicit_seed(0x5eed);
+  EXPECT_EQ(core::Rng().next(), explicit_seed.next());
+}
+
+TEST(Rng, StreamsAreIndependentOfDrawOrder) {
+  core::Rng base(42);
+  core::Rng s0 = base.stream(0);
+  base.next();  // advancing the parent must not perturb child streams
+  core::Rng s0_again = core::Rng(42).stream(0);
+  EXPECT_EQ(s0.next(), s0_again.next());
+  core::Rng s1 = core::Rng(42).stream(1);
+  EXPECT_NE(s0_again.next(), s1.next());
+}
+
+TEST(Rng, FlipRespectsProbabilityGrossly) {
+  core::Rng rng(7);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.flip(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads, 2500, 300);
+}
+
+}  // namespace
+}  // namespace ced

@@ -2,7 +2,7 @@
 //
 //   ced_cli protect  <machine.kiss> [--latency=N] [--solver=lp|greedy|exact]
 //                    [--encoding=binary|gray|onehot|spread] [--semantics=impl|machine]
-//                    [--minimize-states] [--area-aware] [--verify]
+//                    [--minimize-states] [--area-aware] [--verify] [--threads=N]
 //                    [--budget-seconds=F] [--max-cases=N] [--max-lp-iters=N]
 //                    [--max-roundings=N] [--max-exact-nodes=N]
 //   ced_cli analyze  <machine.kiss>
@@ -61,7 +61,8 @@ int usage() {
                "[--solver=lp|greedy|exact]\n"
                "          [--encoding=binary|gray|onehot|spread] "
                "[--semantics=impl|machine]\n"
-               "          [--minimize-states] [--area-aware] [--verify]\n"
+               "          [--minimize-states] [--area-aware] [--verify] "
+               "[--threads=N]\n"
                "          [--budget-seconds=F] [--max-cases=N] "
                "[--max-lp-iters=N]\n"
                "          [--max-roundings=N] [--max-exact-nodes=N]\n"
@@ -99,6 +100,10 @@ int cmd_help() {
       "\n"
       "Other protect flags:\n"
       "  --latency=N          2          detection-latency bound p\n"
+      "  --threads=N          0          worker threads for extraction and\n"
+      "                                  rounding; 0 = CED_THREADS env or\n"
+      "                                  hardware concurrency, 1 = serial.\n"
+      "                                  Results are identical at any count.\n"
       "  --solver=KIND        lp         lp | greedy | exact\n"
       "  --encoding=KIND      binary     binary | gray | onehot | spread\n"
       "  --semantics=KIND     impl       impl | machine (see DESIGN.md)\n"
@@ -222,6 +227,11 @@ int cmd_protect(int argc, char** argv) {
   if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
     opts.extract.semantics = core::DiffSemantics::kMachineLevel;
   }
+  // 0 = auto (CED_THREADS env or hardware concurrency); negatives mean auto
+  // too rather than wrapping.
+  const int threads =
+      std::atoi(arg_value(argc, argv, "--threads", "0").c_str());
+  opts.threads = threads >= 1 ? threads : 0;
   opts.budget = budget_from_args(argc, argv);
 
   const core::PipelineReport rep = core::run_pipeline(f, opts);

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the sanitizer pass.
+# Tier-1 gate plus the sanitizer passes.
 #
 #   tools/ci.sh            # plain build + full ctest, then ASan+UBSan build
-#                          # + full ctest under sanitizers
-#   tools/ci.sh --fast     # sanitizer pass runs only the resilience and
-#                          # parser suites (the crash-prone surface)
+#                          # + full ctest under sanitizers, then TSan build
+#                          # + full ctest with 4 worker threads
+#   tools/ci.sh --fast     # ASan+UBSan pass runs only the resilience and
+#                          # parser suites (the crash-prone surface); TSan
+#                          # pass runs only the concurrency-bearing suites
 #
 # Run from anywhere; paths resolve relative to the repo root.
 
@@ -27,6 +29,15 @@ if [[ "$fast" == 1 ]]; then
   ctest --preset asan-ubsan -j "$jobs" -R 'Resilience|KissMalformed|KissParse'
 else
   ctest --preset asan-ubsan -j "$jobs"
+fi
+
+echo "== sanitizers: TSan (CED_THREADS=4) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs"
+if [[ "$fast" == 1 ]]; then
+  ctest --preset tsan -j "$jobs" -R 'Parallel|Resilience|Pipeline'
+else
+  ctest --preset tsan -j "$jobs"
 fi
 
 echo "ci: all green"
