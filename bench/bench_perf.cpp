@@ -155,16 +155,21 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"circuits\": [\n");
   for (std::size_t c = 0; c < perf.size(); ++c) {
     const auto& cp = perf[c];
+    // Names pass through json_escape and timings through json_number so the
+    // file parses even with hostile circuit names or NaN/Inf timings.
     std::fprintf(out, "    {\"name\": \"%s\", \"cases\": %zu, \"runs\": [\n",
-                 cp.name.c_str(), cp.num_cases);
+                 bench::json_escape(cp.name).c_str(), cp.num_cases);
     for (std::size_t i = 0; i < cp.runs.size(); ++i) {
       const Run& r = cp.runs[i];
       std::fprintf(out,
-                   "      {\"threads\": %d, \"t_synth\": %.6f, "
-                   "\"t_extract\": %.6f, \"t_solve\": %.6f, \"t_ced\": %.6f, "
-                   "\"t_total\": %.6f, \"q\": [",
-                   r.threads, r.t_synth, r.t_extract, r.t_solve, r.t_ced,
-                   r.t_total);
+                   "      {\"threads\": %d, \"t_synth\": %s, "
+                   "\"t_extract\": %s, \"t_solve\": %s, \"t_ced\": %s, "
+                   "\"t_total\": %s, \"q\": [",
+                   r.threads, bench::json_number(r.t_synth).c_str(),
+                   bench::json_number(r.t_extract).c_str(),
+                   bench::json_number(r.t_solve).c_str(),
+                   bench::json_number(r.t_ced).c_str(),
+                   bench::json_number(r.t_total).c_str());
       for (std::size_t k = 0; k < r.qs.size(); ++k) {
         std::fprintf(out, "%s%d", k ? ", " : "", r.qs[k]);
       }

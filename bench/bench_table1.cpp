@@ -43,8 +43,10 @@ int main(int argc, char** argv) {
 
   // All circuits sweep concurrently (--threads=N / CED_THREADS); results
   // come back in input order so the table prints identically at any count.
+  // --store=DIR caches extraction between runs of the harness.
   const auto sweeps =
-      bench::sweep_suite(circuits, ps, opts, bench::threads_from_args(argc, argv));
+      bench::sweep_suite(circuits, ps, opts, bench::threads_from_args(argc, argv),
+                         bench::store_from_args(argc, argv));
   for (std::size_t c = 0; c < circuits.size(); ++c) {
     const auto& name = circuits[c];
     const auto& reps = sweeps[c];

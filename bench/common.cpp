@@ -1,9 +1,12 @@
 #include "common.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include "common/parallel.hpp"
+#include "storage/store.hpp"
 
 namespace ced::bench {
 
@@ -48,10 +51,62 @@ std::vector<std::string> circuits_from_args(int argc, char** argv) {
   return all;
 }
 
+std::string store_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--store=", 8) == 0) return argv[i] + 8;
+  }
+  return {};
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
 std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
                                                 const std::vector<int>& ps,
-                                                core::PipelineOptions opts) {
+                                                core::PipelineOptions opts,
+                                                const std::string& store_dir) {
   std::fprintf(stderr, "[bench] %s ...\n", name.c_str());
+  // The store (when used) is scoped to this sweep; the directory persists
+  // between harness runs. Concurrent sweeps over the same directory are
+  // safe: every write is atomic and every read is validated.
+  std::optional<storage::ArtifactStore> store;
+  std::optional<storage::StoreArchive> archive;
+  if (!store_dir.empty()) {
+    store.emplace(store_dir);
+    archive.emplace(*store);
+    opts.archive = &*archive;
+    opts.resume = true;
+  }
   std::vector<core::PipelineReport> reps;
   try {
     const fsm::Fsm f = benchdata::suite_fsm(name);
@@ -80,13 +135,14 @@ std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
 
 std::vector<std::vector<core::PipelineReport>> sweep_suite(
     const std::vector<std::string>& names, const std::vector<int>& ps,
-    core::PipelineOptions opts, int threads) {
+    core::PipelineOptions opts, int threads, const std::string& store_dir) {
   const int workers = resolve_threads(threads);
   core::PipelineOptions inner = opts;
   if (workers > 1 && names.size() > 1) inner.threads = 1;
   std::vector<std::vector<core::PipelineReport>> out(names.size());
-  parallel_for(workers, names.size(),
-               [&](std::size_t i) { out[i] = sweep_circuit(names[i], ps, inner); });
+  parallel_for(workers, names.size(), [&](std::size_t i) {
+    out[i] = sweep_circuit(names[i], ps, inner, store_dir);
+  });
   return out;
 }
 

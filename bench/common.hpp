@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "benchdata/suite.hpp"
@@ -26,11 +27,28 @@ bool quick_mode(int argc, char** argv);
 /// variable if set, otherwise hardware concurrency.
 int threads_from_args(int argc, char** argv);
 
+/// Parses --store=DIR: directory of a crash-safe artifact store that caches
+/// extraction results between harness runs. Empty (the default) = no store.
+std::string store_from_args(int argc, char** argv);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters). Returns the escaped body only —
+/// the caller supplies the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// Renders a double as a JSON number. NaN and infinities have no JSON
+/// representation; they come out as "null" so emitted files always parse.
+std::string json_number(double v);
+
 /// Runs the shared-extraction latency sweep for one circuit with the given
-/// latencies, printing progress to stderr.
+/// latencies, printing progress to stderr. A non-empty `store_dir` routes
+/// extraction through the artifact store there (resume enabled): warm
+/// sweeps skip extraction, corrupt artifacts are quarantined and recomputed.
 std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
                                                 const std::vector<int>& ps,
                                                 core::PipelineOptions opts =
+                                                    {},
+                                                const std::string& store_dir =
                                                     {});
 
 /// Runs sweep_circuit for every name concurrently — one circuit per worker
@@ -41,7 +59,8 @@ std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
 /// passes through untouched.
 std::vector<std::vector<core::PipelineReport>> sweep_suite(
     const std::vector<std::string>& names, const std::vector<int>& ps,
-    core::PipelineOptions opts = {}, int threads = 0);
+    core::PipelineOptions opts = {}, int threads = 0,
+    const std::string& store_dir = {});
 
 /// Percent change helper: 100 * (from - to) / from (positive = reduction).
 double reduction_pct(double from, double to);

@@ -30,6 +30,7 @@ enum class Stage {
   kCedSynth,
   kVerify,
   kPipeline,
+  kStore,
 };
 
 inline const char* to_string(StatusCode c) {
@@ -56,6 +57,7 @@ inline const char* to_string(Stage s) {
     case Stage::kCedSynth: return "ced-synth";
     case Stage::kVerify: return "verify";
     case Stage::kPipeline: return "pipeline";
+    case Stage::kStore: return "store";
   }
   return "?";
 }

@@ -487,4 +487,249 @@ DetectabilityTable extract_cases(const fsm::FsmCircuit& circuit,
   return std::move(extract_cases_multi(circuit, faults, opts).back());
 }
 
+// ------------------------------------------------- checkpointed extraction
+
+namespace {
+
+bool case_less(const ErroneousCase& a, const ErroneousCase& b) {
+  if (a.length != b.length) return a.length < b.length;
+  return a.diff < b.diff;
+}
+
+/// Materializes one worker's private sets into the shard's per-latency
+/// tables: compact to the subset-minimal antichain and sort. Within-shard
+/// compaction only removes rows the global merge would remove anyway, so
+/// the final antichain is unchanged.
+ExtractShard shard_from_worker(ShardWorker& worker, const SharedValves& valves,
+                               std::uint32_t index, std::uint32_t num_shards,
+                               std::size_t shard_faults) {
+  ExtractShard sh;
+  sh.index = index;
+  sh.num_shards = num_shards;
+  sh.tables = worker.tables();  // local statistics
+  auto& sets = worker.sets();
+  for (std::size_t t = 0; t < sh.tables.size(); ++t) {
+    DetectabilityTable& table = sh.tables[t];
+    table.num_faults = shard_faults;
+    compact(sets[t]);
+    table.cases.assign(sets[t].begin(), sets[t].end());
+    sets[t].clear();
+    std::sort(table.cases.begin(), table.cases.end(), case_less);
+    if (valves.frozen[t].load(std::memory_order_relaxed)) {
+      table.truncated = true;
+      table.truncation_reason = valves.reasons[t];
+    }
+  }
+  return sh;
+}
+
+bool shard_truncated(const ExtractShard& sh) {
+  for (const auto& t : sh.tables) {
+    if (t.truncated) return true;
+  }
+  return false;
+}
+
+/// Streaming 128-bit content hash for cache keys (two decorrelated
+/// splitmix-style lanes; not cryptographic, just collision-resistant enough
+/// for content addressing).
+struct Digest128 {
+  std::uint64_t a = 0x243f6a8885a308d3ull;
+  std::uint64_t b = 0x13198a2e03707344ull;
+
+  void absorb(std::uint64_t x) {
+    a ^= x + 0x9e3779b97f4a7c15ull;
+    a = (a ^ (a >> 30)) * 0xbf58476d1ce4e5b9ull;
+    a = (a ^ (a >> 27)) * 0x94d049bb133111ebull;
+    a ^= a >> 31;
+    b += x ^ (a * 0xff51afd7ed558ccdull);
+    b = (b ^ (b >> 33)) * 0xc4ceb9fe1a85ec53ull;
+    b ^= b >> 29;
+  }
+
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<std::size_t>(i)] = digits[(a >> (60 - 4 * i)) & 0xF];
+      out[static_cast<std::size_t>(16 + i)] =
+          digits[(b >> (60 - 4 * i)) & 0xF];
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+int resolve_checkpoint_shards(int requested, std::size_t num_faults) {
+  const int n = requested >= 1 ? requested : kDefaultCheckpointShards;
+  if (num_faults == 0) return 1;
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(n), num_faults));
+}
+
+std::string extraction_digest(const fsm::FsmCircuit& circuit,
+                              std::span<const sim::StuckAtFault> faults,
+                              const ExtractOptions& opts, int num_shards) {
+  Digest128 d;
+  d.absorb(1);  // digest schema version; bump on any semantic change
+  d.absorb(static_cast<std::uint64_t>(kMaxLatency));
+  // Circuit: interface sizes, state encoding, and the full netlist — the
+  // netlist is the reference implementation, so hashing it covers every
+  // synthesis option that could change behaviour.
+  d.absorb(static_cast<std::uint64_t>(circuit.r()));
+  d.absorb(static_cast<std::uint64_t>(circuit.s()));
+  d.absorb(static_cast<std::uint64_t>(circuit.o()));
+  d.absorb(circuit.enc.reset_code);
+  d.absorb(static_cast<std::uint64_t>(circuit.enc.encoding.num_bits));
+  for (const std::uint64_t c : circuit.enc.encoding.codes) d.absorb(c);
+  const logic::Netlist& net = circuit.netlist;
+  d.absorb(net.num_nets());
+  for (std::uint32_t g = 0; g < net.num_nets(); ++g) {
+    const logic::Gate& gate = net.gate(g);
+    d.absorb(static_cast<std::uint64_t>(gate.type));
+    d.absorb(gate.fanins.size());
+    for (const std::uint32_t f : gate.fanins) d.absorb(f);
+  }
+  d.absorb(net.num_outputs());
+  for (const std::uint32_t o : net.outputs()) d.absorb(o);
+  // Fault model.
+  d.absorb(faults.size());
+  for (const auto& f : faults) {
+    d.absorb((static_cast<std::uint64_t>(f.net) << 1) |
+             (f.stuck_value ? 1u : 0u));
+  }
+  // Result-shaping extraction options + the shard partition. Budget valves
+  // (deadline, max_cases) are excluded: truncated results are never cached.
+  d.absorb(static_cast<std::uint64_t>(opts.latency));
+  d.absorb(static_cast<std::uint64_t>(opts.semantics));
+  d.absorb(opts.restrict_to_reachable ? 1 : 0);
+  d.absorb(opts.degrade_threshold);
+  d.absorb(static_cast<std::uint64_t>(num_shards));
+  return d.hex();
+}
+
+std::vector<DetectabilityTable> extract_cases_sharded(
+    const fsm::FsmCircuit& circuit, std::span<const sim::StuckAtFault> faults,
+    const ExtractOptions& opts, const ShardedExtractOptions& sharding,
+    const ExtractCheckpointHooks& hooks) {
+  if (opts.latency < 1 || opts.latency > kMaxLatency) {
+    throw std::invalid_argument("extract_cases: latency out of range");
+  }
+  if (circuit.n() > 64) {
+    throw std::invalid_argument("extract_cases: more than 64 observable bits");
+  }
+  const auto num_tables = static_cast<std::size_t>(opts.latency);
+  const int num_shards =
+      resolve_checkpoint_shards(sharding.num_shards, faults.size());
+  const auto bounds = shard_bounds(faults.size(), num_shards);
+
+  // Phase 1: collect checkpointed shards; list the rest.
+  std::vector<ExtractShard> shards(static_cast<std::size_t>(num_shards));
+  std::vector<char> present(static_cast<std::size_t>(num_shards), 0);
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(num_shards); ++s) {
+    ExtractShard& sh = shards[s];
+    if (hooks.load &&
+        hooks.load(s, static_cast<std::uint32_t>(num_shards), sh) &&
+        sh.index == s &&
+        sh.num_shards == static_cast<std::uint32_t>(num_shards) &&
+        sh.tables.size() == num_tables && !shard_truncated(sh)) {
+      present[s] = 1;
+    } else {
+      sh = ExtractShard{};
+      missing.push_back(s);
+    }
+  }
+
+  // Phase 2: compute (up to the quota) the missing shards, in index order.
+  // Each shard runs with PRIVATE valves, so its content is a pure function
+  // of (circuit, fault block, opts, num_shards) — never of timing or of the
+  // other shards — which is what makes checkpoints replayable.
+  std::size_t allowed = missing.size();
+  if (sharding.max_new_shards > 0) {
+    allowed = std::min<std::size_t>(
+        allowed, static_cast<std::size_t>(sharding.max_new_shards));
+  }
+  const std::size_t skipped = missing.size() - allowed;
+  if (allowed > 0) {
+    std::vector<std::uint64_t> activation_codes;
+    if (opts.restrict_to_reachable) {
+      activation_codes = sim::reachable_codes(circuit, circuit.enc.reset_code);
+    } else {
+      for (std::uint64_t c = 0; c <= circuit.state_mask(); ++c) {
+        activation_codes.push_back(c);
+      }
+    }
+    sim::GoldenCache golden(circuit);
+    golden.populate(activation_codes);
+
+    parallel_for(resolve_threads(opts.threads), allowed, [&](std::size_t i) {
+      const std::uint32_t s = missing[i];
+      SharedValves valves(num_tables);
+      ShardWorker worker(circuit, opts, golden, activation_codes, valves,
+                         num_shards);
+      const std::size_t begin = bounds[s];
+      const std::size_t end = bounds[s + 1];
+      worker.run(faults.subspan(begin, end - begin));
+      ExtractShard sh =
+          shard_from_worker(worker, valves, s,
+                            static_cast<std::uint32_t>(num_shards),
+                            end - begin);
+      // Only complete shards become checkpoints; a valve-tripped shard
+      // keeps its partial cases in this run's (truncated) result but is
+      // recomputed from scratch on resume.
+      if (!shard_truncated(sh) && hooks.save) hooks.save(sh);
+      shards[s] = std::move(sh);
+      present[s] = 1;
+    });
+  }
+
+  // Phase 3: deterministic merge in fixed shard order — identical to a
+  // fresh full run whenever every shard is present and complete.
+  std::vector<DetectabilityTable> tables(num_tables);
+  for (int p = 1; p <= opts.latency; ++p) {
+    const auto t = static_cast<std::size_t>(p - 1);
+    DetectabilityTable& table = tables[t];
+    table.num_bits = circuit.n();
+    table.latency = p;
+    table.num_faults = faults.size();
+    CaseSet merged;
+    for (int s = 0; s < num_shards; ++s) {
+      if (!present[static_cast<std::size_t>(s)]) continue;
+      const ExtractShard& sh = shards[static_cast<std::size_t>(s)];
+      const DetectabilityTable& lt = sh.tables[t];
+      merged.insert(lt.cases.begin(), lt.cases.end());
+      table.num_activations += lt.num_activations;
+      table.num_paths += lt.num_paths;
+      table.num_loop_truncations += lt.num_loop_truncations;
+      table.strengthened = table.strengthened || lt.strengthened;
+      if (p == 1) table.num_detectable_faults += lt.num_detectable_faults;
+      if (lt.truncated) {
+        table.truncated = true;
+        if (table.truncation_reason.empty()) {
+          table.truncation_reason = lt.truncation_reason;
+        }
+      }
+    }
+    compact(merged);
+    table.cases.assign(merged.begin(), merged.end());
+    std::sort(table.cases.begin(), table.cases.end(), case_less);
+    if (skipped > 0) {
+      table.truncated = true;
+      if (table.truncation_reason.empty()) {
+        table.truncation_reason =
+            "checkpoint quota: " + std::to_string(skipped) + " of " +
+            std::to_string(num_shards) +
+            " shards left for a later run; re-run with --resume to continue";
+      }
+    }
+  }
+  for (int p = 2; p <= opts.latency; ++p) {
+    tables[static_cast<std::size_t>(p - 1)].num_detectable_faults =
+        tables[0].num_detectable_faults;
+  }
+  return tables;
+}
+
 }  // namespace ced::core

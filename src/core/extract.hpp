@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -118,5 +119,114 @@ std::vector<DetectabilityTable> extract_cases_multi(
 DetectabilityTable extract_cases(const fsm::FsmCircuit& circuit,
                                  std::span<const sim::StuckAtFault> faults,
                                  const ExtractOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Checkpointed (shard-granular) extraction.
+//
+// The fault list is split into a FIXED contiguous-block partition whose
+// shard count is independent of the worker-thread count, and every shard is
+// extracted as a pure function of (circuit, its fault block, options, shard
+// count): each shard runs with private budget valves, so its result never
+// depends on what other shards did or on execution timing. That makes a
+// completed shard a durable unit of work — the storage layer persists each
+// one as it finishes, and a later run can load the completed shards and
+// compute only the remainder, producing tables byte-identical (cases AND
+// statistics) to an uninterrupted run at any thread count.
+// ---------------------------------------------------------------------------
+
+/// One completed shard: the per-latency tables holding the shard's local
+/// statistics and its own compacted, sorted case lists. Mergeable in fixed
+/// shard order into the final tables.
+struct ExtractShard {
+  std::uint32_t index = 0;
+  std::uint32_t num_shards = 0;
+  std::vector<DetectabilityTable> tables;  ///< one per latency 1..p
+};
+
+/// Default checkpoint shard count (before clamping to the fault count).
+/// Fixed — NOT derived from the thread count — so the shard partition, and
+/// with it every per-shard artifact, is stable across machines and runs.
+inline constexpr int kDefaultCheckpointShards = 16;
+
+/// Resolves a requested checkpoint shard count: <= 0 picks the default,
+/// and the result never exceeds the fault count (>= 1 always).
+int resolve_checkpoint_shards(int requested, std::size_t num_faults);
+
+struct ShardedExtractOptions {
+  /// Checkpoint shards (0 = kDefaultCheckpointShards), clamped to the
+  /// fault count. Part of the cache key: different partitions produce
+  /// identical case lists but different path statistics.
+  int num_shards = 0;
+  /// Stop (deterministically) after computing this many new shards this
+  /// run; remaining shards are skipped and the tables report truncation
+  /// with a resume hint. 0 = no limit. This is the deterministic analogue
+  /// of a wall-clock budget trip, used by tests and by `--max-new-shards`.
+  int max_new_shards = 0;
+};
+
+/// Checkpoint callbacks wired up by the storage layer (core performs no
+/// file I/O itself). `load` returns true and fills `out` when a completed
+/// shard artifact exists for (shard, num_shards); `save` is called with
+/// every newly completed (never truncated) shard, possibly from worker
+/// threads concurrently. Either may be empty.
+struct ExtractCheckpointHooks {
+  std::function<bool(std::uint32_t shard, std::uint32_t num_shards,
+                     ExtractShard& out)>
+      load;
+  std::function<void(const ExtractShard&)> save;
+};
+
+/// Sharded, checkpointable variant of extract_cases_multi. Shards still to
+/// compute run under opts.threads workers; loaded shards cost nothing. A
+/// wall-clock/case-valve trip mid-shard keeps that shard's partial cases in
+/// the returned (truncated) tables but never persists them. When every
+/// shard is available the result is byte-identical to any other complete
+/// run with the same `num_shards`, at any thread count.
+std::vector<DetectabilityTable> extract_cases_sharded(
+    const fsm::FsmCircuit& circuit, std::span<const sim::StuckAtFault> faults,
+    const ExtractOptions& opts, const ShardedExtractOptions& sharding = {},
+    const ExtractCheckpointHooks& hooks = {});
+
+/// Content digest (32 hex chars) of everything a detectability-table bundle
+/// depends on: the synthesized circuit (netlist, encoding, reset code), the
+/// collapsed fault list, the result-shaping extraction options (latency,
+/// semantics, reachability restriction, degrade threshold) and the shard
+/// partition. Two runs with equal digests produce byte-identical tables, so
+/// the digest is the artifact-store cache key; budget valves (deadline,
+/// max_cases) are deliberately excluded — truncated results are never
+/// cached.
+std::string extraction_digest(const fsm::FsmCircuit& circuit,
+                              std::span<const sim::StuckAtFault> faults,
+                              const ExtractOptions& opts, int num_shards);
+
+/// Interface to a persistent, corruption-detecting artifact cache for
+/// extraction results, implemented by storage::StoreArchive (src/storage).
+/// Core calls it through this interface so the dependency points from
+/// storage to core, not the other way. Implementations must not throw and
+/// must tolerate concurrent store_shard calls from worker threads.
+class ExtractArchive {
+ public:
+  virtual ~ExtractArchive() = default;
+
+  /// Cached complete table bundle for `key` (latencies 1..p in order).
+  /// Empty on miss; corrupt artifacts are quarantined, reported through
+  /// drain_events(), and read as a miss.
+  virtual std::vector<DetectabilityTable> load_tables(
+      const std::string& key) = 0;
+  virtual void store_tables(const std::string& key,
+                            const std::vector<DetectabilityTable>& tables) = 0;
+
+  /// Shard checkpoints for `key`.
+  virtual bool load_shard(const std::string& key, std::uint32_t shard,
+                          std::uint32_t num_shards, ExtractShard& out) = 0;
+  virtual void store_shard(const std::string& key, const ExtractShard& s) = 0;
+  /// Drops the shard checkpoints of `key` once the final bundle is durable.
+  virtual void drop_shards(const std::string& key) = 0;
+
+  /// Store incidents (quarantined corrupt artifacts, unwritable files, ...)
+  /// since the last drain, as human-readable lines; the pipeline records
+  /// them in ResilienceReport::store_events.
+  virtual std::vector<std::string> drain_events() = 0;
+};
 
 }  // namespace ced::core

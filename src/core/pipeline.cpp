@@ -300,8 +300,56 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
     ex.threads = opts.threads;
     if (opts.budget.max_cases > 0) ex.max_cases = opts.budget.max_cases;
     t0 = std::chrono::steady_clock::now();
-    const std::vector<DetectabilityTable> tables =
-        extract_cases_multi(circuit, faults, ex);
+    std::vector<DetectabilityTable> tables;
+    std::vector<std::string> store_events;
+    if (opts.archive != nullptr) {
+      // Content-addressed cache: the key pins circuit, fault list, the
+      // result-shaping extraction options and the shard partition, so a hit
+      // is byte-identical to what extraction would have produced.
+      const int num_shards =
+          resolve_checkpoint_shards(opts.checkpoint_shards, faults.size());
+      const std::string key =
+          extraction_digest(circuit, faults, ex, num_shards);
+      tables = opts.archive->load_tables(key);
+      const bool shape_ok =
+          tables.size() == static_cast<std::size_t>(p_max) &&
+          tables.front().num_bits == circuit.n() &&
+          tables.front().num_faults == faults.size();
+      if (!tables.empty() && !shape_ok) {
+        store_events.push_back(
+            "stored table bundle has the wrong shape for key " + key +
+            "; ignoring it and re-extracting");
+        tables.clear();
+      }
+      if (tables.empty()) {
+        ShardedExtractOptions sharding;
+        sharding.num_shards = num_shards;
+        sharding.max_new_shards = opts.max_new_shards;
+        ExtractCheckpointHooks hooks;
+        if (opts.resume) {
+          hooks.load = [&](std::uint32_t s, std::uint32_t n,
+                           ExtractShard& out) {
+            return opts.archive->load_shard(key, s, n, out);
+          };
+        }
+        hooks.save = [&](const ExtractShard& s) {
+          opts.archive->store_shard(key, s);
+        };
+        tables = extract_cases_sharded(circuit, faults, ex, sharding, hooks);
+        const bool complete = std::none_of(
+            tables.begin(), tables.end(),
+            [](const DetectabilityTable& t) { return t.truncated; });
+        if (complete) {
+          opts.archive->store_tables(key, tables);
+          opts.archive->drop_shards(key);
+        }
+      }
+      for (auto& e : opts.archive->drain_events()) {
+        store_events.push_back(std::move(e));
+      }
+    } else {
+      tables = extract_cases_multi(circuit, faults, ex);
+    }
     const double t_extract = seconds_since(t0);
     const bool any_truncated =
         std::any_of(tables.begin(), tables.end(),
@@ -323,6 +371,7 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
                                       warm, ascending && !any_truncated);
       rep.t_synth = t_synth;
       rep.t_extract = t_extract;
+      rep.resilience.store_events = store_events;
       warm = rep.parities;
       reports.push_back(std::move(rep));
     }

@@ -44,6 +44,29 @@ struct PipelineOptions {
   /// degrade (exact -> LP+RR -> greedy -> duplication-style floor; table
   /// truncation) instead of throwing; see PipelineReport::resilience.
   RunBudget budget;
+
+  /// Optional persistent artifact cache (storage::StoreArchive; non-owning,
+  /// must outlive the run). When set, extraction first consults the store:
+  /// a warm hit skips the whole stage (t_extract collapses to the load
+  /// time), a miss runs shard-checkpointed extraction and persists every
+  /// completed shard plus — on a complete run — the final table bundle.
+  /// Corrupt artifacts are quarantined and recomputed; the incidents land
+  /// in ResilienceReport::store_events, never in an exception.
+  ExtractArchive* archive = nullptr;
+  /// Read existing shard checkpoints before extracting (the `--resume`
+  /// flag): an interrupted run's completed shards are loaded and only the
+  /// remainder is computed, yielding tables byte-identical to an
+  /// uninterrupted run. Checkpoints are written regardless; `resume` only
+  /// gates reading them. Ignored without `archive`.
+  bool resume = false;
+  /// Checkpoint shard partition (0 = kDefaultCheckpointShards). Fixed
+  /// independently of `threads` so artifacts are stable across machines;
+  /// part of the cache key. Ignored without `archive`.
+  int checkpoint_shards = 0;
+  /// Deterministically stop extraction after computing this many new shards
+  /// (0 = no limit): the controllable analogue of a budget trip, used by
+  /// resume tests and `--max-new-shards`. Ignored without `archive`.
+  int max_new_shards = 0;
 };
 
 /// Everything the paper's Table 1 reports for one circuit at one latency,

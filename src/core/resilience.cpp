@@ -15,8 +15,15 @@ const char* to_string(CascadeLevel level) {
 }
 
 std::string ResilienceReport::summary() const {
-  if (!degraded()) return {};
+  if (!degraded() && store_events.empty()) return {};
   std::string out;
+  if (!degraded()) {
+    // Store incidents without any quality degradation: audit lines only.
+    for (const auto& e : store_events) {
+      out += "  [store] " + e + "\n";
+    }
+    return out;
+  }
   out += "resilience: ";
   out += status.ok() ? "degraded" : status.to_text();
   out += " (solver ";
@@ -35,6 +42,9 @@ std::string ResilienceReport::summary() const {
                   ced::to_string(e.stage), ced::to_string(e.reason),
                   e.detail.c_str(), e.seconds, e.cases_seen);
     out += line;
+  }
+  for (const auto& e : store_events) {
+    out += "  [store] " + e + "\n";
   }
   return out;
 }

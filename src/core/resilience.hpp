@@ -108,6 +108,13 @@ struct ResilienceReport {
   CascadeLevel solver_used = CascadeLevel::kLpRounding;
   std::vector<FallbackEvent> events;
 
+  /// Artifact-store incidents (a corrupt cache file quarantined and
+  /// transparently recomputed, an unwritable checkpoint, ...). Deliberately
+  /// NOT part of degraded(): the store always falls back to recomputation,
+  /// so the answer itself is full quality — these lines are an audit trail,
+  /// not a quality downgrade.
+  std::vector<std::string> store_events;
+
   bool degraded() const {
     return !status.ok() || extraction_truncated ||
            solver_used != solver_requested || !events.empty();

@@ -1,0 +1,240 @@
+#include "storage/store.hpp"
+
+#include <cstdio>
+#include <system_error>
+
+#include "common/io.hpp"
+
+namespace ced::storage {
+
+namespace fs = std::filesystem;
+
+ArtifactStore::ArtifactStore(fs::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_ / "quarantine", ec);
+  if (ec) {
+    init_status_ = Status::internal(
+        Stage::kStore, "cannot create store directory " + dir_.string() +
+                           ": " + ec.message());
+    event("store unusable: " + init_status_.message);
+  }
+}
+
+fs::path ArtifactStore::path_for(const std::string& name) const {
+  return dir_ / (name + ".ced");
+}
+
+void ArtifactStore::event(std::string e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<std::string> ArtifactStore::drain_events() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.swap(events_);
+  return out;
+}
+
+Status ArtifactStore::put(const std::string& name, std::string_view bytes) {
+  if (!init_status_.ok()) return init_status_;
+  Status st = io::atomic_write_file(path_for(name), bytes);
+  if (!st.ok()) event("write failed for " + name + ".ced: " + st.message);
+  return st;
+}
+
+void ArtifactStore::quarantine_file(const fs::path& p, const std::string& why) {
+  const fs::path dest = dir_ / "quarantine" / p.filename();
+  std::error_code ec;
+  fs::rename(p, dest, ec);
+  if (ec) fs::remove(p, ec);  // cross-device or races: drop it instead
+  event("quarantined " + p.filename().string() + ": " + why +
+        "; recomputing");
+}
+
+Result<std::string> ArtifactStore::get_validated(const std::string& name,
+                                                 ArtifactKind kind) {
+  const fs::path p = path_for(name);
+  auto bytes = io::read_file(p);
+  if (!bytes) {
+    // Missing (or unreadable) artifact: a plain cache miss, not an incident.
+    return Status::invalid_input(Stage::kStore,
+                                 name + ".ced: " + bytes.status().message);
+  }
+  auto art = ArtifactReader::open(*bytes, kind);
+  if (!art) {
+    quarantine_file(p, art.status().message);
+    return art.status();
+  }
+  return std::move(*bytes);
+}
+
+bool ArtifactStore::exists(const std::string& name) const {
+  std::error_code ec;
+  return fs::exists(path_for(name), ec);
+}
+
+void ArtifactStore::remove(const std::string& name) {
+  std::error_code ec;
+  fs::remove(path_for(name), ec);
+}
+
+std::vector<std::string> ArtifactStore::list() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() == ".ced") out.push_back(p.stem().string());
+  }
+  return out;
+}
+
+void ArtifactStore::discard_corrupt(const std::string& name,
+                                    const std::string& why) {
+  quarantine_file(path_for(name), why);
+}
+
+VerifyStats ArtifactStore::verify_all() {
+  VerifyStats stats;
+  for (const std::string& name : list()) {
+    ++stats.scanned;
+    auto bytes = io::read_file(path_for(name));
+    if (!bytes) {
+      quarantine_file(path_for(name), bytes.status().message);
+      ++stats.quarantined;
+      continue;
+    }
+    Status st = validate_envelope(*bytes);
+    if (st.ok()) {
+      ++stats.ok;
+    } else {
+      quarantine_file(path_for(name), st.message);
+      ++stats.quarantined;
+    }
+  }
+  return stats;
+}
+
+GcStats ArtifactStore::gc() {
+  GcStats stats;
+  std::error_code ec;
+  // Stray atomic-write temp files (a crash between create and rename).
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string fname = it->path().filename().string();
+    if (fname.find(".tmp.") != std::string::npos) {
+      std::error_code rec;
+      if (fs::remove(it->path(), rec)) ++stats.tmp_removed;
+    }
+  }
+  // Quarantined artifacts have served their diagnostic purpose.
+  for (fs::directory_iterator it(dir_ / "quarantine", ec), end;
+       !ec && it != end; it.increment(ec)) {
+    std::error_code rec;
+    if (fs::remove(it->path(), rec)) ++stats.quarantine_removed;
+  }
+  // Checkpoint shards whose complete table bundle exists are redundant:
+  // shard-<key>-NNN is superseded by tab-<key>.
+  for (const std::string& name : list()) {
+    if (name.rfind("shard-", 0) != 0) continue;
+    const std::size_t dash = name.rfind('-');
+    if (dash == std::string::npos || dash <= 6) continue;
+    const std::string key = name.substr(6, dash - 6);
+    if (exists(table_name(key))) {
+      remove(name);
+      ++stats.stale_shards_removed;
+    }
+  }
+  return stats;
+}
+
+// ------------------------------------------------------------- naming
+
+std::string table_name(const std::string& key) { return "tab-" + key; }
+
+std::string shard_name(const std::string& key, std::uint32_t index) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "-%03u", index);
+  return "shard-" + key + suffix;
+}
+
+std::string scheme_name(const std::string& key, int latency,
+                        const std::string& solver) {
+  return "scheme-" + key + "-p" + std::to_string(latency) + "-" + solver;
+}
+
+// -------------------------------------------------------- StoreArchive
+
+std::vector<core::DetectabilityTable> StoreArchive::load_tables(
+    const std::string& key) {
+  const std::string name = table_name(key);
+  auto bytes = store_.get_validated(name, ArtifactKind::kTableBundle);
+  if (!bytes) return {};
+  auto tables = decode_tables(*bytes);
+  if (!tables) {
+    store_.discard_corrupt(name, tables.status().message);
+    return {};
+  }
+  return std::move(*tables);
+}
+
+void StoreArchive::store_tables(
+    const std::string& key,
+    const std::vector<core::DetectabilityTable>& tables) {
+  store_.put(table_name(key), encode_tables(tables));
+}
+
+bool StoreArchive::load_shard(const std::string& key, std::uint32_t shard,
+                              std::uint32_t num_shards,
+                              core::ExtractShard& out) {
+  const std::string name = shard_name(key, shard);
+  auto bytes = store_.get_validated(name, ArtifactKind::kShard);
+  if (!bytes) return false;
+  auto decoded = decode_shard(*bytes);
+  if (!decoded) {
+    store_.discard_corrupt(name, decoded.status().message);
+    return false;
+  }
+  if (decoded->index != shard || decoded->num_shards != num_shards) {
+    store_.discard_corrupt(name, "shard identity mismatch");
+    return false;
+  }
+  out = std::move(*decoded);
+  return true;
+}
+
+void StoreArchive::store_shard(const std::string& key,
+                               const core::ExtractShard& shard) {
+  store_.put(shard_name(key, shard.index), encode_shard(shard));
+}
+
+void StoreArchive::drop_shards(const std::string& key) {
+  for (const std::string& name : store_.list()) {
+    if (name.rfind("shard-" + key + "-", 0) == 0) store_.remove(name);
+  }
+}
+
+std::vector<std::string> StoreArchive::drain_events() {
+  return store_.drain_events();
+}
+
+// ------------------------------------------------------------- schemes
+
+Status store_scheme(ArtifactStore& store, const std::string& name,
+                    const SchemeArtifact& scheme) {
+  return store.put(name, encode_scheme(scheme));
+}
+
+Result<SchemeArtifact> load_scheme(ArtifactStore& store,
+                                   const std::string& name) {
+  auto bytes = store.get_validated(name, ArtifactKind::kParityScheme);
+  if (!bytes) return bytes.status();
+  auto scheme = decode_scheme(*bytes);
+  if (!scheme) store.discard_corrupt(name, scheme.status().message);
+  return scheme;
+}
+
+}  // namespace ced::storage

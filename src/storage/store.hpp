@@ -1,0 +1,131 @@
+#pragma once
+
+// Crash-safe, corruption-detecting artifact store.
+//
+// Layout: one directory holding `<name>.ced` artifact files plus a
+// `quarantine/` subdirectory. Every write is atomic (temp file + fsync +
+// rename, see common/io.hpp) so a killed process leaves either the old
+// bytes, the new bytes, or a stray `*.tmp.*` file that `gc` sweeps —
+// never a half-written artifact under the real name. Every read is
+// validated (magic, version, kind, per-section CRC32); artifacts that
+// fail validation are moved to quarantine, recorded as an event, and
+// reported as a miss so callers transparently recompute.
+//
+// Thread safety: all methods may be called concurrently (checkpoint
+// shards are persisted from extraction worker threads).
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/extract.hpp"
+#include "storage/format.hpp"
+
+namespace ced::storage {
+
+/// Result of an integrity scan over every artifact in the store.
+struct VerifyStats {
+  std::size_t scanned = 0;
+  std::size_t ok = 0;
+  std::size_t quarantined = 0;  ///< failed validation, moved aside
+};
+
+/// Result of a garbage-collection pass.
+struct GcStats {
+  std::size_t tmp_removed = 0;         ///< stray atomic-write temp files
+  std::size_t quarantine_removed = 0;  ///< previously quarantined artifacts
+  std::size_t stale_shards_removed = 0;///< checkpoints whose table exists
+};
+
+class ArtifactStore {
+ public:
+  /// Opens (and creates, if needed) the store directory and its
+  /// quarantine/ subdirectory. Failure is recorded in status(): the store
+  /// then behaves as always-miss and every put records an event.
+  explicit ArtifactStore(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+  const Status& status() const { return init_status_; }
+
+  /// Atomically writes `<name>.ced`. Failures become events (and the
+  /// returned Status), never exceptions.
+  Status put(const std::string& name, std::string_view bytes);
+
+  /// Reads `<name>.ced` and checks the envelope (magic/version/kind/CRC).
+  /// A missing file is a plain miss; a file that fails validation is
+  /// quarantined, recorded as an event, and returned as the failure
+  /// Status — the caller treats both as "recompute".
+  Result<std::string> get_validated(const std::string& name,
+                                    ArtifactKind kind);
+
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+  /// Names (without the .ced suffix) of every artifact in the store.
+  std::vector<std::string> list() const;
+
+  /// Moves `<name>.ced` to quarantine and records an event. Used when an
+  /// artifact passes the envelope check but fails semantic decoding.
+  void discard_corrupt(const std::string& name, const std::string& why);
+
+  /// Validates every artifact; quarantines the ones that fail.
+  VerifyStats verify_all();
+  /// Removes stray temp files, quarantined artifacts, and checkpoint
+  /// shards made redundant by a complete table bundle.
+  GcStats gc();
+
+  /// Returns and clears the accumulated incident log (quarantines, write
+  /// failures). The pipeline folds these into ResilienceReport::store_events.
+  std::vector<std::string> drain_events();
+
+ private:
+  std::filesystem::path path_for(const std::string& name) const;
+  void quarantine_file(const std::filesystem::path& p, const std::string& why);
+  void event(std::string e);
+
+  std::filesystem::path dir_;
+  Status init_status_;
+  mutable std::mutex mu_;
+  std::vector<std::string> events_;
+};
+
+/// core::ExtractArchive backed by an ArtifactStore: table bundles under
+/// `tab-<key>.ced`, checkpoint shards under `shard-<key>-NNN.ced`. All
+/// corruption handling (quarantine + recompute) happens here; the
+/// extraction code only ever sees hits and misses.
+class StoreArchive final : public core::ExtractArchive {
+ public:
+  explicit StoreArchive(ArtifactStore& store) : store_(store) {}
+
+  std::vector<core::DetectabilityTable> load_tables(
+      const std::string& key) override;
+  void store_tables(
+      const std::string& key,
+      const std::vector<core::DetectabilityTable>& tables) override;
+  bool load_shard(const std::string& key, std::uint32_t shard,
+                  std::uint32_t num_shards,
+                  core::ExtractShard& out) override;
+  void store_shard(const std::string& key,
+                   const core::ExtractShard& shard) override;
+  void drop_shards(const std::string& key) override;
+  std::vector<std::string> drain_events() override;
+
+ private:
+  ArtifactStore& store_;
+};
+
+/// Canonical artifact names.
+std::string table_name(const std::string& key);
+std::string shard_name(const std::string& key, std::uint32_t index);
+std::string scheme_name(const std::string& key, int latency,
+                        const std::string& solver);
+
+/// Scheme round-trip through a store (corruption-checked like any other
+/// artifact; a corrupt scheme is quarantined and reported as a miss).
+Status store_scheme(ArtifactStore& store, const std::string& name,
+                    const SchemeArtifact& scheme);
+Result<SchemeArtifact> load_scheme(ArtifactStore& store,
+                                   const std::string& name);
+
+}  // namespace ced::storage

@@ -7,12 +7,22 @@
 //                    [--max-roundings=N] [--max-exact-nodes=N]
 //   ced_cli analyze  <machine.kiss>
 //   ced_cli generate --states=N --inputs=N --outputs=N [--seed=N] [--self-loops=F]
+//   ced_cli verify   <machine.kiss> --store=DIR [--latency=N] [--solver=...]
+//   ced_cli store    verify|gc --store=DIR
 //   ced_cli help
 //
 // `protect` runs the full bounded-latency CED pipeline and prints the
 // chosen parity functions and hardware costs; `analyze` prints STG and
 // synthesis statistics; `generate` emits a synthetic KISS2 benchmark to
 // stdout. A file name of "-" reads the machine from stdin.
+//
+// With --store=DIR, `protect` caches extraction results and checkpoints
+// in a crash-safe artifact store: a warm rerun skips extraction entirely
+// (watch t_extract in the stage-times line), an interrupted run resumed
+// with --resume completes only the missing shards and produces the same
+// tables byte for byte, and a corrupted artifact is quarantined and
+// recomputed (reported on stderr, never a crash). `verify` re-proves the
+// bounded-detection property for a scheme previously stored by `protect`.
 //
 // Exit codes:
 //   0  success, full-quality result
@@ -26,6 +36,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -37,6 +48,7 @@
 #include "fsm/analysis.hpp"
 #include "fsm/minimize_states.hpp"
 #include "kiss/kiss.hpp"
+#include "storage/store.hpp"
 
 namespace {
 
@@ -66,9 +78,14 @@ int usage() {
                "          [--budget-seconds=F] [--max-cases=N] "
                "[--max-lp-iters=N]\n"
                "          [--max-roundings=N] [--max-exact-nodes=N]\n"
+               "          [--store=DIR] [--resume] [--checkpoint-shards=N] "
+               "[--max-new-shards=N]\n"
                "  ced_cli analyze <machine.kiss>\n"
                "  ced_cli generate --states=N --inputs=N --outputs=N "
                "[--seed=N] [--self-loops=F]\n"
+               "  ced_cli verify <machine.kiss> --store=DIR [--latency=N] "
+               "[--solver=...]\n"
+               "  ced_cli store verify|gc --store=DIR\n"
                "  ced_cli help      full flag reference incl. budget table\n");
   return kExitInvalidInput;
 }
@@ -109,7 +126,32 @@ int cmd_help() {
       "  --semantics=KIND     impl       impl | machine (see DESIGN.md)\n"
       "  --minimize-states               merge compatible states first\n"
       "  --area-aware                    area-driven parity refinement\n"
-      "  --verify                        sequential bounded-latency proof\n");
+      "  --verify                        sequential bounded-latency proof\n"
+      "\n"
+      "Artifact store flags (protect):\n"
+      "  --store=DIR                     cache extraction tables, shard\n"
+      "                                  checkpoints and the parity scheme\n"
+      "                                  in a crash-safe store; warm reruns\n"
+      "                                  skip extraction (t_extract ~ 0)\n"
+      "  --resume                        load checkpoint shards left by an\n"
+      "                                  interrupted run; the completed run\n"
+      "                                  is byte-identical to an\n"
+      "                                  uninterrupted one\n"
+      "  --checkpoint-shards=N 16        fault-shard partition for\n"
+      "                                  checkpoints (part of the cache\n"
+      "                                  key; independent of --threads)\n"
+      "  --max-new-shards=N    0         stop after computing N new shards\n"
+      "                                  (deterministic interruption for\n"
+      "                                  testing resume; 0 = no limit)\n"
+      "\n"
+      "Store subcommands:\n"
+      "  ced_cli verify <m.kiss> --store=DIR   re-prove bounded detection\n"
+      "      for the scheme stored by a previous protect run (pass the same\n"
+      "      --latency/--solver/--encoding/--semantics/--checkpoint-shards)\n"
+      "  ced_cli store verify --store=DIR      integrity-scan every\n"
+      "      artifact; corrupt ones are quarantined (exit 1 if any)\n"
+      "  ced_cli store gc --store=DIR          remove stray temp files,\n"
+      "      quarantined artifacts and superseded shard checkpoints\n");
   return kExitOk;
 }
 
@@ -202,6 +244,16 @@ core::RunBudget budget_from_args(int argc, char** argv) {
   return b;
 }
 
+/// Canonical solver tag used in stored-scheme names.
+const char* solver_tag(core::SolverKind solver) {
+  switch (solver) {
+    case core::SolverKind::kGreedy: return "greedy";
+    case core::SolverKind::kExact: return "exact";
+    case core::SolverKind::kLpRounding: break;
+  }
+  return "lp";
+}
+
 int cmd_protect(int argc, char** argv) {
   if (argc < 3) return usage();
   fsm::Fsm f = load_machine(argv[2]);
@@ -234,6 +286,20 @@ int cmd_protect(int argc, char** argv) {
   opts.threads = threads >= 1 ? threads : 0;
   opts.budget = budget_from_args(argc, argv);
 
+  const std::string store_dir = arg_value(argc, argv, "--store", "");
+  std::optional<storage::ArtifactStore> store;
+  std::optional<storage::StoreArchive> archive;
+  if (!store_dir.empty()) {
+    store.emplace(store_dir);
+    archive.emplace(*store);
+    opts.archive = &*archive;
+    opts.resume = has_flag(argc, argv, "--resume");
+    opts.checkpoint_shards =
+        std::atoi(arg_value(argc, argv, "--checkpoint-shards", "0").c_str());
+    opts.max_new_shards =
+        std::atoi(arg_value(argc, argv, "--max-new-shards", "0").c_str());
+  }
+
   const core::PipelineReport rep = core::run_pipeline(f, opts);
   const core::ResilienceReport& res = rep.resilience;
   if (res.status.code == StatusCode::kInvalidInput) {
@@ -259,14 +325,39 @@ int cmd_protect(int argc, char** argv) {
   std::printf("CED hardware: %zu gates, area %.1f (%.1f%% of original)\n",
               rep.ced_gates, rep.ced_area,
               rep.orig_area > 0 ? 100.0 * rep.ced_area / rep.orig_area : 0.0);
+  // A warm store makes the skipped extraction stage directly visible here.
+  std::printf("stage times: synth=%.3fs extract=%.3fs solve=%.3fs ced=%.3fs\n",
+              rep.t_synth, rep.t_extract, rep.t_solve, rep.t_ced);
 
-  if (res.degraded()) {
-    std::fputs(res.summary().c_str(), stderr);
+  const std::string res_summary = res.summary();
+  if (!res_summary.empty()) {
+    std::fputs(res_summary.c_str(), stderr);
   }
 
   const fsm::FsmCircuit circuit =
       fsm::synthesize_fsm(f, opts.encoding, opts.synth);
   const auto faults = sim::enumerate_stuck_at(circuit.netlist, opts.faults);
+
+  if (store) {
+    // Persist the scheme under the extraction cache key so `ced_cli verify`
+    // can re-prove it later. Degraded schemes (truncated tables, cascade
+    // floors) are deliberately not stored: they cover what was seen, not
+    // necessarily the full fault set.
+    core::ExtractOptions ex = opts.extract;
+    ex.latency = opts.latency;
+    const int num_shards =
+        core::resolve_checkpoint_shards(opts.checkpoint_shards, faults.size());
+    const std::string key =
+        core::extraction_digest(circuit, faults, ex, num_shards);
+    if (!res.degraded()) {
+      storage::SchemeArtifact scheme;
+      scheme.latency = rep.latency;
+      scheme.parities = rep.parities;
+      storage::store_scheme(
+          *store, storage::scheme_name(key, rep.latency, solver_tag(opts.solver)),
+          scheme);
+    }
+  }
 
   if (has_flag(argc, argv, "--area-aware")) {
     core::ExtractOptions ex = opts.extract;
@@ -290,6 +381,113 @@ int cmd_protect(int argc, char** argv) {
     verify_failed = !vr.ok();
   }
   return (res.degraded() || verify_failed) ? kExitDegraded : kExitOk;
+}
+
+/// `ced_cli verify <machine.kiss> --store=DIR`: load the parity scheme a
+/// previous `protect --store` run persisted (after full deserialization +
+/// integrity checks) and re-prove the bounded-detection property against a
+/// freshly synthesized circuit. The shape flags must match the protect run:
+/// they are part of the cache key the scheme is filed under.
+int cmd_verify(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string store_dir = arg_value(argc, argv, "--store", "");
+  if (store_dir.empty()) {
+    throw InvalidInputError("verify requires --store=DIR");
+  }
+  fsm::Fsm f = load_machine(argv[2]);
+  if (has_flag(argc, argv, "--minimize-states")) {
+    f = fsm::merge_compatible_states(f).machine;
+  }
+  const int latency =
+      std::atoi(arg_value(argc, argv, "--latency", "2").c_str());
+  const std::string solver = arg_value(argc, argv, "--solver", "lp");
+  const core::SolverKind solver_kind =
+      solver == "greedy"  ? core::SolverKind::kGreedy
+      : solver == "exact" ? core::SolverKind::kExact
+                          : core::SolverKind::kLpRounding;
+  const std::string enc = arg_value(argc, argv, "--encoding", "binary");
+  const fsm::EncodingKind encoding =
+      enc == "gray"     ? fsm::EncodingKind::kGray
+      : enc == "onehot" ? fsm::EncodingKind::kOneHot
+      : enc == "spread" ? fsm::EncodingKind::kSpread
+                        : fsm::EncodingKind::kBinary;
+
+  const fsm::FsmCircuit circuit = fsm::synthesize_fsm(f, encoding, {});
+  const auto faults = sim::enumerate_stuck_at(circuit.netlist);
+
+  core::ExtractOptions ex;
+  ex.latency = latency;
+  if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
+    ex.semantics = core::DiffSemantics::kMachineLevel;
+  }
+  const int num_shards = core::resolve_checkpoint_shards(
+      std::atoi(arg_value(argc, argv, "--checkpoint-shards", "0").c_str()),
+      faults.size());
+  const std::string key =
+      core::extraction_digest(circuit, faults, ex, num_shards);
+  const std::string name =
+      storage::scheme_name(key, latency, solver_tag(solver_kind));
+
+  storage::ArtifactStore store(store_dir);
+  auto scheme = storage::load_scheme(store, name);
+  for (const auto& e : store.drain_events()) {
+    std::fprintf(stderr, "  [store] %s\n", e.c_str());
+  }
+  if (!scheme) {
+    throw InvalidInputError(
+        "no stored scheme " + name + " in " + store_dir + " (" +
+        scheme.status().message +
+        "); run `ced_cli protect <machine> --store=" + store_dir +
+        "` with the same shape flags first");
+  }
+
+  std::printf("scheme %s: p=%d, q=%zu parity trees\n", name.c_str(),
+              scheme->latency, scheme->parities.size());
+  const core::CedHardware hw =
+      core::synthesize_ced(circuit, scheme->parities, {});
+  const core::VerifyResult vr =
+      core::verify_bounded_detection(circuit, hw, faults, scheme->latency);
+  std::printf("verification: %zu activations, %zu violations, "
+              "%zu false alarms -> %s\n",
+              vr.activations_checked, vr.violations, vr.false_alarms,
+              vr.ok() ? "OK" : "FAILED");
+  for (const auto& m : vr.messages) {
+    std::fprintf(stderr, "  %s\n", m.c_str());
+  }
+  return vr.ok() ? kExitOk : kExitDegraded;
+}
+
+/// `ced_cli store verify|gc --store=DIR`: maintenance passes over the
+/// artifact store itself.
+int cmd_store(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  const std::string store_dir = arg_value(argc, argv, "--store", "");
+  if (store_dir.empty()) {
+    throw InvalidInputError("store " + sub + " requires --store=DIR");
+  }
+  storage::ArtifactStore store(store_dir);
+  if (!store.status().ok()) {
+    throw InvalidInputError(store.status().message);
+  }
+  if (sub == "verify") {
+    const storage::VerifyStats st = store.verify_all();
+    for (const auto& e : store.drain_events()) {
+      std::fprintf(stderr, "  [store] %s\n", e.c_str());
+    }
+    std::printf("scanned %zu artifacts: %zu ok, %zu quarantined\n", st.scanned,
+                st.ok, st.quarantined);
+    return st.quarantined > 0 ? kExitDegraded : kExitOk;
+  }
+  if (sub == "gc") {
+    const storage::GcStats st = store.gc();
+    std::printf("gc: removed %zu temp files, %zu quarantined artifacts, "
+                "%zu superseded shard checkpoints\n",
+                st.tmp_removed, st.quarantine_removed,
+                st.stale_shards_removed);
+    return kExitOk;
+  }
+  return usage();
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -319,6 +517,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
     if (std::strcmp(argv[1], "protect") == 0) return cmd_protect(argc, argv);
     if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+    if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
+    if (std::strcmp(argv[1], "store") == 0) return cmd_store(argc, argv);
     if (std::strcmp(argv[1], "help") == 0 ||
         std::strcmp(argv[1], "--help") == 0) {
       return cmd_help();

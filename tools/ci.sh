@@ -4,9 +4,12 @@
 #   tools/ci.sh            # plain build + full ctest, then ASan+UBSan build
 #                          # + full ctest under sanitizers, then TSan build
 #                          # + full ctest with 4 worker threads
-#   tools/ci.sh --fast     # ASan+UBSan pass runs only the resilience and
-#                          # parser suites (the crash-prone surface); TSan
-#                          # pass runs only the concurrency-bearing suites
+#   tools/ci.sh --fast     # ASan+UBSan pass runs only the resilience,
+#                          # parser and storage suites (the crash-prone
+#                          # surface: budget valves, malformed input, and
+#                          # corrupt-artifact fault injection); TSan pass
+#                          # runs only the concurrency-bearing suites
+#                          # (parallel extraction, pipeline, resume)
 #
 # Run from anywhere; paths resolve relative to the repo root.
 
@@ -26,7 +29,7 @@ echo "== sanitizers: ASan + UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$jobs"
 if [[ "$fast" == 1 ]]; then
-  ctest --preset asan-ubsan -j "$jobs" -R 'Resilience|KissMalformed|KissParse'
+  ctest --preset asan-ubsan -j "$jobs" -R 'Resilience|KissMalformed|KissParse|Storage'
 else
   ctest --preset asan-ubsan -j "$jobs"
 fi
@@ -35,7 +38,7 @@ echo "== sanitizers: TSan (CED_THREADS=4) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 if [[ "$fast" == 1 ]]; then
-  ctest --preset tsan -j "$jobs" -R 'Parallel|Resilience|Pipeline'
+  ctest --preset tsan -j "$jobs" -R 'Parallel|Resilience|Pipeline|Resume'
 else
   ctest --preset tsan -j "$jobs"
 fi
