@@ -5,23 +5,36 @@
 // changes.
 //
 //   bench_perf [--quick|--circuits=a,b,c] [--threads=N] [--latency=P]
-//              [--out=path.json]
+//              [--out=path.json] [--smoke]
 //
 // --threads caps the ladder (default: CED_THREADS env or hardware
 // concurrency); the ladder is 1, 2, 4, ... up to that cap, cap included.
 // Every run at every thread count must produce the same q — the harness
 // exits 1 on a determinism mismatch or a degraded run, 0 otherwise.
+//
+// On top of the ladder, every circuit gets a solver-stage mode matrix at
+// p=2, threads=1 — {bit-sliced, scalar} x {condensed, raw} — plus a
+// kernel-throughput microbench (case-evaluations/s, transposed kernel vs
+// the scalar popcount loop). The bit-sliced and scalar paths must agree on
+// q AND on the selected parity functions byte-for-byte at fixed
+// condensation; any divergence is an exit-1 failure.
+//
+// --smoke runs only that equivalence check (small suite by default, no
+// thread ladder, no JSON): a seconds-scale CI gate that the kernel is a
+// pure speedup, never a result change.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "common/parallel.hpp"
+#include "core/coverkernel.hpp"
 
 namespace {
 
@@ -36,11 +49,23 @@ std::string arg_value(int argc, char** argv, const char* key,
   return fallback;
 }
 
+bool flag_present(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 std::vector<int> thread_ladder(int max_threads) {
   std::vector<int> ladder;
   for (int t = 1; t < max_threads; t *= 2) ladder.push_back(t);
   ladder.push_back(max_threads);
   return ladder;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 struct Run {
@@ -50,17 +75,214 @@ struct Run {
   bool degraded = false;
 };
 
+/// One cell of the p=2 solver-stage mode matrix.
+struct ModeRun {
+  bool bitsliced = false;
+  bool condense = false;
+  double t_solve = 0;
+  std::vector<ced::core::ParityFunc> parities;
+  std::size_t condensed_cases = 0;
+  bool degraded = false;
+};
+
+/// Kernel-throughput microbench numbers (case-evaluations per second).
+struct KernelBench {
+  double build_s = 0;
+  double bitsliced_mcps = 0;  ///< million case-evals/s, transposed kernel
+  double scalar_mcps = 0;     ///< million case-evals/s, popcount loop
+};
+
 struct CircuitPerf {
   std::string name;
   std::size_t num_cases = 0;
   std::vector<Run> runs;
+  // p=2 solver-stage section (empty modes = table build failed).
+  std::size_t p2_cases = 0;
+  std::vector<ModeRun> modes;
+  KernelBench kernel;
 };
+
+/// Synthesizes the circuit and extracts its detectability table at latency
+/// `p`, serially (the mode matrix fixes threads=1 end to end).
+ced::core::DetectabilityTable build_table(const std::string& name, int p) {
+  using namespace ced;
+  const fsm::Fsm f = benchdata::suite_fsm(name);
+  const fsm::FsmCircuit circuit =
+      fsm::synthesize_fsm(f, fsm::EncodingKind::kBinary, {});
+  const auto faults = sim::enumerate_stuck_at(circuit.netlist, {});
+  core::ExtractOptions ex;
+  ex.latency = p;
+  ex.threads = 1;
+  return core::extract_cases(circuit, faults, ex);
+}
+
+/// Runs the solver stage (greedy seeding + Algorithm 1, i.e. exactly what
+/// the pipeline's t_solve measures) on `table` in the given mode.
+ModeRun solve_mode(const ced::core::DetectabilityTable& table, bool bitsliced,
+                   bool condense) {
+  using namespace ced;
+  ModeRun r;
+  r.bitsliced = bitsliced;
+  r.condense = condense;
+  const core::ScopedKernelMode mode(bitsliced ? core::KernelMode::kBitsliced
+                                              : core::KernelMode::kScalar);
+  core::PipelineOptions opts;
+  opts.threads = 1;
+  opts.condense = condense;
+  core::Algorithm1Stats stats;
+  core::ResilienceReport resilience;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.parities = core::select_parities_resilient(table, opts, core::Deadline{},
+                                               &stats, {}, resilience);
+  r.t_solve = seconds_since(t0);
+  r.condensed_cases = stats.condensed_cases;
+  r.degraded = resilience.degraded();
+  return r;
+}
+
+const char* mode_name(const ModeRun& r) {
+  if (r.bitsliced) return r.condense ? "bitsliced/condensed" : "bitsliced/raw";
+  return r.condense ? "scalar/condensed" : "scalar/raw";
+}
+
+/// Deterministic beta stream for the throughput microbench (splitmix64).
+std::vector<ced::core::ParityFunc> bench_betas(int n, std::size_t count) {
+  std::vector<ced::core::ParityFunc> betas;
+  betas.reserve(count);
+  const std::uint64_t mask =
+      n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  while (betas.size() < count) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const std::uint64_t beta = z & mask;
+    betas.push_back(beta != 0 ? beta : 1);
+  }
+  return betas;
+}
+
+/// Repeats `body` until at least 50ms elapsed; returns seconds per call.
+template <typename F>
+double time_per_call(F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t reps = 0;
+  double elapsed = 0;
+  do {
+    body();
+    ++reps;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.05);
+  return elapsed / static_cast<double>(reps);
+}
+
+KernelBench bench_kernel(const ced::core::DetectabilityTable& table) {
+  using namespace ced;
+  KernelBench kb;
+  if (table.cases.empty()) return kb;
+  const auto betas = bench_betas(table.num_bits, 32);
+  const double m = static_cast<double>(table.cases.size());
+  const double evals = m * static_cast<double>(betas.size());
+
+  std::optional<core::CoverKernel> kernel;
+  kb.build_s = time_per_call([&] { kernel.emplace(table); });
+
+  // volatile sink so the evaluation loops cannot be optimized away.
+  volatile std::size_t sink = 0;
+  const double t_bits = time_per_call([&] {
+    std::size_t acc = 0;
+    for (const core::ParityFunc beta : betas) {
+      acc += kernel->coverage_count(beta);
+    }
+    sink = acc;
+  });
+  const double t_scalar = time_per_call([&] {
+    std::size_t acc = 0;
+    for (const core::ParityFunc beta : betas) {
+      for (const core::ErroneousCase& ec : table.cases) {
+        acc += core::covers(beta, ec) ? 1 : 0;
+      }
+    }
+    sink = acc;
+  });
+  (void)sink;
+  kb.bitsliced_mcps = t_bits > 0 ? evals / t_bits / 1e6 : 0;
+  kb.scalar_mcps = t_scalar > 0 ? evals / t_scalar / 1e6 : 0;
+  return kb;
+}
+
+/// Runs the p=2 mode matrix + kernel microbench for one circuit; returns
+/// false on a kernel-vs-scalar result divergence (the harness must fail).
+bool run_solver_modes(CircuitPerf& cp, bool with_kernel_bench) {
+  using namespace ced;
+  core::DetectabilityTable table;
+  try {
+    table = build_table(cp.name, 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench_perf] %s: p=2 table build failed: %s\n",
+                 cp.name.c_str(), e.what());
+    return true;  // already reported as a degraded sweep row
+  }
+  cp.p2_cases = table.cases.size();
+  for (const bool condense : {true, false}) {
+    for (const bool bitsliced : {true, false}) {
+      cp.modes.push_back(solve_mode(table, bitsliced, condense));
+    }
+  }
+  if (with_kernel_bench) cp.kernel = bench_kernel(table);
+
+  bool ok = true;
+  // Byte-identity gate: at fixed condensation, the bit-sliced and scalar
+  // paths must select the exact same parity functions.
+  for (std::size_t i = 0; i + 1 < cp.modes.size(); i += 2) {
+    const ModeRun& bits = cp.modes[i];
+    const ModeRun& scalar = cp.modes[i + 1];
+    if (bits.parities != scalar.parities) {
+      std::fprintf(stderr,
+                   "[bench_perf] %s: %s selected q=%zu but %s selected q=%zu "
+                   "with different parities — kernel/scalar divergence\n",
+                   cp.name.c_str(), mode_name(bits), bits.parities.size(),
+                   mode_name(scalar), scalar.parities.size());
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ced;
-  const auto circuits = bench::circuits_from_args(argc, argv);
+  const bool smoke = flag_present(argc, argv, "--smoke");
+  const auto circuits =
+      smoke && !flag_present(argc, argv, "--quick") &&
+              arg_value(argc, argv, "--circuits", "").empty()
+          ? benchdata::small_suite_names()
+          : bench::circuits_from_args(argc, argv);
+
+  if (smoke) {
+    // CI gate: kernel-vs-scalar q/parity equality at p=2, threads=1.
+    bool ok = true;
+    for (const auto& name : circuits) {
+      CircuitPerf cp;
+      cp.name = name;
+      bool circuit_ok = run_solver_modes(cp, /*with_kernel_bench=*/false);
+      for (const ModeRun& r : cp.modes) circuit_ok = circuit_ok && !r.degraded;
+      ok = ok && circuit_ok;
+      if (!cp.modes.empty()) {
+        std::printf("[smoke] %-8s q=%zu (%zu cases, %zu condensed) %s\n",
+                    name.c_str(), cp.modes.front().parities.size(),
+                    cp.p2_cases, cp.modes.front().condensed_cases,
+                    circuit_ok ? "ok" : "MISMATCH");
+      }
+    }
+    std::printf("[smoke] kernel-vs-scalar equivalence: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
   const int max_threads =
       resolve_threads(bench::threads_from_args(argc, argv));
   const int p_max = std::atoi(arg_value(argc, argv, "--latency", "3").c_str());
@@ -88,9 +310,7 @@ int main(int argc, char** argv) {
       run.threads = threads;
       const auto t0 = std::chrono::steady_clock::now();
       const auto reps = bench::sweep_circuit(name, ps, opts);
-      run.t_total =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
+      run.t_total = seconds_since(t0);
       for (const auto& r : reps) {
         run.qs.push_back(r.num_trees);
         run.t_solve += r.t_solve;
@@ -120,17 +340,37 @@ int main(int argc, char** argv) {
       }
       cp.runs.push_back(std::move(run));
     }
+    // Solver-stage mode matrix + kernel throughput at p=2, threads=1.
+    if (!run_solver_modes(cp, /*with_kernel_bench=*/true)) failed = true;
+    for (const ModeRun& r : cp.modes) {
+      std::printf("%-8s | %19s | solve %9.3fs | q=%zu%s\n", cp.name.c_str(),
+                  mode_name(r), r.t_solve, r.parities.size(),
+                  r.degraded ? " *" : "");
+    }
+    if (cp.kernel.bitsliced_mcps > 0) {
+      std::printf(
+          "%-8s | kernel: build %.4fs, eval %.1f Mcase/s bit-sliced vs "
+          "%.1f Mcase/s scalar (%.1fx)\n",
+          cp.name.c_str(), cp.kernel.build_s, cp.kernel.bitsliced_mcps,
+          cp.kernel.scalar_mcps,
+          cp.kernel.scalar_mcps > 0
+              ? cp.kernel.bitsliced_mcps / cp.kernel.scalar_mcps
+              : 0.0);
+    }
+    std::fflush(stdout);
     perf.push_back(std::move(cp));
   }
 
-  // Headline: extraction+solve speedup at the top of the ladder on the
+  // Headline 1: extraction+solve speedup at the top of the ladder on the
   // largest instance (most erroneous cases — the circuit the paper's
   // tables sweat over is also the one parallelism must pay off on).
-  if (!perf.empty() && ladder.size() > 1) {
-    const CircuitPerf* largest = &perf.front();
-    for (const auto& cp : perf) {
-      if (cp.num_cases > largest->num_cases) largest = &cp;
+  const CircuitPerf* largest = nullptr;
+  for (const auto& cp : perf) {
+    if (largest == nullptr || cp.num_cases > largest->num_cases) {
+      largest = &cp;
     }
+  }
+  if (largest != nullptr && ladder.size() > 1) {
     const Run& serial = largest->runs.front();
     const Run& wide = largest->runs.back();
     const double before = serial.t_extract + serial.t_solve;
@@ -143,13 +383,29 @@ int main(int argc, char** argv) {
           largest->name.c_str(), before, after, wide.threads, before / after);
     }
   }
+  // Headline 2: solver-stage kernel speedup on the largest instance at
+  // p=2, threads=1 (the tentpole's acceptance number).
+  if (largest != nullptr && largest->modes.size() == 4) {
+    std::printf("%s\n", std::string(76, '-').c_str());
+    for (std::size_t i = 0; i + 1 < largest->modes.size(); i += 2) {
+      const ModeRun& bits = largest->modes[i];
+      const ModeRun& scalar = largest->modes[i + 1];
+      if (bits.t_solve > 0.0) {
+        std::printf(
+            "largest circuit %s (%s): solver stage %.3fs scalar -> %.3fs "
+            "bit-sliced (%.2fx)\n",
+            largest->name.c_str(), bits.condense ? "condensed" : "raw",
+            scalar.t_solve, bits.t_solve, scalar.t_solve / bits.t_solve);
+      }
+    }
+  }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "[bench_perf] cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out, "{\n  \"schema\": \"ced-bench-perf-v1\",\n");
+  std::fprintf(out, "{\n  \"schema\": \"ced-bench-perf-v2\",\n");
   std::fprintf(out, "  \"latency_max\": %d,\n", p_max);
   std::fprintf(out, "  \"hardware_threads\": %d,\n", resolve_threads(0));
   std::fprintf(out, "  \"circuits\": [\n");
@@ -177,7 +433,28 @@ int main(int argc, char** argv) {
                    r.degraded ? "true" : "false",
                    i + 1 < cp.runs.size() ? "," : "");
     }
-    std::fprintf(out, "    ]}%s\n", c + 1 < perf.size() ? "," : "");
+    std::fprintf(out, "    ],\n");
+    std::fprintf(out, "     \"solver_p2\": {\"cases\": %zu, \"modes\": [\n",
+                 cp.p2_cases);
+    for (std::size_t i = 0; i < cp.modes.size(); ++i) {
+      const ModeRun& r = cp.modes[i];
+      std::fprintf(out,
+                   "      {\"eval\": \"%s\", \"condense\": %s, "
+                   "\"t_solve\": %s, \"q\": %zu, \"condensed_cases\": %zu, "
+                   "\"degraded\": %s}%s\n",
+                   r.bitsliced ? "bitsliced" : "scalar",
+                   r.condense ? "true" : "false",
+                   bench::json_number(r.t_solve).c_str(), r.parities.size(),
+                   r.condensed_cases, r.degraded ? "true" : "false",
+                   i + 1 < cp.modes.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "    ], \"kernel\": {\"build_s\": %s, "
+                 "\"bitsliced_mcps\": %s, \"scalar_mcps\": %s}}}%s\n",
+                 bench::json_number(cp.kernel.build_s).c_str(),
+                 bench::json_number(cp.kernel.bitsliced_mcps).c_str(),
+                 bench::json_number(cp.kernel.scalar_mcps).c_str(),
+                 c + 1 < perf.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

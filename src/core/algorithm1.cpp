@@ -11,7 +11,7 @@ namespace {
 
 /// Number of detecting (bit, step) entries of a case: rows with few entries
 /// constrain the LP the most and are sampled first.
-int hardness(const ErroneousCase& ec) {
+int hardness_of(const ErroneousCase& ec) {
   int total = 0;
   for (int k = 0; k < ec.length; ++k) {
     total += std::popcount(ec.diff[static_cast<std::size_t>(k)]);
@@ -19,18 +19,26 @@ int hardness(const ErroneousCase& ec) {
   return total;
 }
 
-std::vector<std::uint32_t> hardest_rows(const DetectabilityTable& table,
-                                        std::size_t limit) {
-  std::vector<std::uint32_t> idx(table.cases.size());
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    idx[i] = static_cast<std::uint32_t>(i);
+/// Insertion-ordered row list with O(1) duplicate rejection: the LP rows
+/// and the stride spread overlap, and full-table checks keep teaching the
+/// sample rows it already knows — without dedup every screening trial
+/// re-evaluates those indices.
+class RowSet {
+ public:
+  explicit RowSet(std::size_t universe) : in_(universe, false) {}
+
+  void add(std::uint32_t r) {
+    if (in_[r]) return;
+    in_[r] = true;
+    rows_.push_back(r);
   }
-  std::stable_sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return hardness(table.cases[a]) < hardness(table.cases[b]);
-  });
-  if (idx.size() > limit) idx.resize(limit);
-  return idx;
-}
+
+  const std::vector<std::uint32_t>& rows() const { return rows_; }
+
+ private:
+  std::vector<bool> in_;
+  std::vector<std::uint32_t> rows_;
+};
 
 /// One randomized rounding per eq. (1), with a mild late-iteration blend
 /// toward 1/2 on fractional bits to escape repeatedly failing extreme
@@ -54,70 +62,144 @@ std::vector<ParityFunc> round_once(const std::vector<std::vector<double>>& x,
 
 /// Hill-climb repair over a row subset: flips bits of the candidate trees
 /// to reduce the number of uncovered rows (exact GF(2) evaluation, but only
-/// on `rows` — callers re-verify against the full table).
+/// on `rows` — callers re-verify against the full table). On the kernel
+/// path each tree holds a BetaCursor over a subset kernel, so probing a
+/// flip is one column XOR per step plus a T-way OR, instead of a full
+/// per-case re-scan; acceptance rule and scan order match the scalar loop,
+/// so the repaired trees are identical.
 bool repair_on(std::vector<ParityFunc>& betas, const DetectabilityTable& table,
                std::span<const std::uint32_t> rows, int n) {
-  auto uncovered = uncovered_among(betas, table, rows);
+  if (kernel_mode() == KernelMode::kScalar) {
+    auto uncovered = uncovered_among(betas, table, rows);
+    bool improved = true;
+    while (!uncovered.empty() && improved) {
+      improved = false;
+      for (std::size_t t = 0; t < betas.size() && !uncovered.empty(); ++t) {
+        for (int j = 0; j < n; ++j) {
+          const ParityFunc saved = betas[t];
+          betas[t] ^= std::uint64_t{1} << j;
+          auto trial = uncovered_among(betas, table, rows);
+          if (trial.size() < uncovered.size()) {
+            uncovered = std::move(trial);
+            improved = true;
+          } else {
+            betas[t] = saved;
+          }
+        }
+      }
+    }
+    return uncovered.empty();
+  }
+
+  const CoverKernel sub(table, rows);
+  std::vector<BetaCursor> cur;
+  cur.reserve(betas.size());
+  for (const ParityFunc b : betas) cur.emplace_back(sub, b);
+  std::vector<std::uint64_t> acc(sub.num_words());
+  auto count_uncovered = [&]() {
+    std::fill(acc.begin(), acc.end(), 0);
+    for (const BetaCursor& c : cur) c.or_covered_into(acc.data());
+    return sub.num_rows() - sub.count(acc.data());
+  };
+  std::size_t unc = count_uncovered();
   bool improved = true;
-  while (!uncovered.empty() && improved) {
+  while (unc > 0 && improved) {
     improved = false;
-    for (std::size_t t = 0; t < betas.size() && !uncovered.empty(); ++t) {
+    for (std::size_t t = 0; t < cur.size() && unc > 0; ++t) {
       for (int j = 0; j < n; ++j) {
-        const ParityFunc saved = betas[t];
-        betas[t] ^= std::uint64_t{1} << j;
-        auto trial = uncovered_among(betas, table, rows);
-        if (trial.size() < uncovered.size()) {
-          uncovered = std::move(trial);
+        cur[t].flip(j);
+        const std::size_t trial = count_uncovered();
+        if (trial < unc) {
+          unc = trial;
           improved = true;
         } else {
-          betas[t] = saved;
+          cur[t].flip(j);
         }
       }
     }
   }
-  return uncovered.empty();
+  for (std::size_t t = 0; t < cur.size(); ++t) betas[t] = cur[t].beta();
+  return unc == 0;
+}
+
+/// Full-table uncovered rows through the shared kernel when available.
+std::vector<std::uint32_t> full_uncovered(const SolverContext& ctx,
+                                          std::span<const ParityFunc> betas) {
+  if (ctx.kernel) return ctx.kernel->uncovered(betas);
+  return uncovered_cases(betas, *ctx.table);
 }
 
 }  // namespace
 
+SolverContext::SolverContext(const DetectabilityTable& t) : table(&t) {
+  if (kernel_mode() == KernelMode::kBitsliced) kernel.emplace(t);
+  hardness.resize(t.cases.size());
+  for (std::size_t i = 0; i < t.cases.size(); ++i) {
+    hardness[i] = hardness_of(t.cases[i]);
+  }
+  hard_order.resize(t.cases.size());
+  for (std::size_t i = 0; i < hard_order.size(); ++i) {
+    hard_order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::stable_sort(hard_order.begin(), hard_order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return hardness[a] < hardness[b];
+                   });
+}
+
 std::optional<std::vector<ParityFunc>> solve_for_q(
     const DetectabilityTable& table, int q, const Algorithm1Options& opts,
-    Algorithm1Stats* stats) {
+    Algorithm1Stats* stats, const SolverContext* ctx) {
   if (table.cases.empty()) return std::vector<ParityFunc>{};
   if (q <= 0) return std::nullopt;
+
+  // The hardness ordering and the kernel depend only on the table; a
+  // caller probing several q values (the binary search) passes one context
+  // down instead of recomputing them per probe.
+  std::optional<SolverContext> local_ctx;
+  if (ctx == nullptr) {
+    local_ctx.emplace(table);
+    ctx = &*local_ctx;
+  }
 
   // Base stream for this q; every rounding trial forks its own child
   // stream from (base, round, trial-index), so trials are independent and
   // reproducible regardless of how they are scheduled across threads.
   const Rng base(opts.seed ^ (static_cast<std::uint64_t>(q) << 32));
   const int threads = resolve_threads(opts.threads);
-  std::vector<std::uint32_t> rows =
-      hardest_rows(table, static_cast<std::size_t>(opts.lp_sample_rows));
+  const std::size_t lp_limit =
+      std::min(table.cases.size(),
+               static_cast<std::size_t>(std::max(opts.lp_sample_rows, 0)));
+  std::vector<std::uint32_t> rows(ctx->hard_order.begin(),
+                                  ctx->hard_order.begin() +
+                                      static_cast<std::ptrdiff_t>(lp_limit));
   std::vector<bool> in_lp(table.cases.size(), false);
   for (auto rid : rows) in_lp[rid] = true;
 
-  // Verification sample: the LP rows plus a spread over the whole table.
-  // Roundings are screened against it; only screen-passing candidates pay
-  // for the exact full-table Statement-4 check.
-  std::vector<std::uint32_t> check_rows = rows;
+  // Verification sample: the LP rows plus a spread over the whole table
+  // (deduplicated — the spread overlaps the LP rows). Roundings are
+  // screened against it; only screen-passing candidates pay for the exact
+  // full-table Statement-4 check.
+  RowSet check(table.cases.size());
+  for (auto rid : rows) check.add(rid);
   if (table.cases.size() > opts.verify_sample_cap) {
     const std::size_t stride = table.cases.size() / opts.verify_sample_cap;
     for (std::size_t i = 0; i < table.cases.size(); i += stride) {
-      check_rows.push_back(static_cast<std::uint32_t>(i));
+      check.add(static_cast<std::uint32_t>(i));
     }
   } else {
     for (std::size_t i = 0; i < table.cases.size(); ++i) {
-      check_rows.push_back(static_cast<std::uint32_t>(i));
+      check.add(static_cast<std::uint32_t>(i));
     }
   }
 
   // Full exact check with sample refinement: a candidate that covers the
   // sample but misses full-table rows teaches the sample those rows.
   auto full_check = [&](std::vector<ParityFunc>& betas) -> bool {
-    const auto missed = uncovered_cases(betas, table);
+    const auto missed = full_uncovered(*ctx, betas);
     if (missed.empty()) return true;
     for (std::size_t i = 0; i < missed.size() && i < 64; ++i) {
-      check_rows.push_back(missed[i]);
+      check.add(missed[i]);
     }
     return false;
   };
@@ -159,16 +241,19 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
     // Algorithm 1's ITER trials are mutually independent given the LP
     // solution, so run them concurrently: each trial rounds with its own
     // derived Rng stream and is screened against a snapshot of the sample
-    // rows. The sequential resolution below walks trials in index order —
-    // first full-check success by lowest trial index wins — so the outcome
-    // is identical for every thread count.
+    // rows (one shared subset kernel — immutable, hence safely read by all
+    // workers). The sequential resolution below walks trials in index
+    // order — first full-check success by lowest trial index wins — so the
+    // outcome is identical for every thread count.
     struct Trial {
       std::vector<ParityFunc> betas;
-      std::vector<std::uint32_t> uncov;
+      std::size_t uncov = 0;
       bool ran = false;
     };
     std::vector<Trial> trials(static_cast<std::size_t>(std::max(opts.iter, 0)));
-    const std::vector<std::uint32_t> screen = check_rows;
+    const std::vector<std::uint32_t> screen = check.rows();
+    std::optional<CoverKernel> screen_kernel;
+    if (ctx->kernel) screen_kernel.emplace(table, screen);
     std::atomic<int> executed{0};
     parallel_for(threads, trials.size(), [&](std::size_t it) {
       if (opts.deadline.expired()) return;  // trial skipped, noted below
@@ -182,7 +267,9 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
           (static_cast<std::uint64_t>(round) << 32) + it);
       Trial& tr = trials[it];
       tr.betas = round_once(x, blend, trial_rng);
-      tr.uncov = uncovered_among(tr.betas, table, screen);
+      tr.uncov = screen_kernel
+                     ? screen_kernel->uncovered_count(tr.betas)
+                     : uncovered_among(tr.betas, table, screen).size();
       tr.ran = true;
       executed.fetch_add(1, std::memory_order_relaxed);
     });
@@ -193,12 +280,12 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
         trials_skipped = true;
         continue;
       }
-      if (tr.uncov.empty() && full_check(tr.betas)) {
-        return prune_redundant(tr.betas, table);
+      if (tr.uncov == 0 && full_check(tr.betas)) {
+        return prune_redundant(tr.betas, table, ctx->kernel_ptr());
       }
-      if (tr.uncov.size() < best_uncovered &&
+      if (tr.uncov < best_uncovered &&
           tr.betas.size() <= static_cast<std::size_t>(q)) {
-        best_uncovered = tr.uncov.size();
+        best_uncovered = tr.uncov;
         best_attempt = std::move(tr.betas);
       }
     }
@@ -211,11 +298,10 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
     // Row generation: add the hardest still-violated sample rows of the
     // best attempt and re-solve.
     if (best_attempt.empty()) break;
-    auto uncov = uncovered_among(best_attempt, table, check_rows);
+    auto uncov = uncovered_among(best_attempt, table, check.rows());
     std::stable_sort(uncov.begin(), uncov.end(),
                      [&](std::uint32_t a, std::uint32_t b) {
-                       return hardness(table.cases[a]) <
-                              hardness(table.cases[b]);
+                       return ctx->hardness[a] < ctx->hardness[b];
                      });
     bool added = false;
     for (std::uint32_t rid : uncov) {
@@ -246,11 +332,11 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
         break;
       }
       if (stats) ++stats->repairs;
-      if (!repair_on(best_attempt, table, check_rows, table.num_bits)) break;
+      if (!repair_on(best_attempt, table, check.rows(), table.num_bits)) break;
       if (full_check(best_attempt)) {
-        return prune_redundant(best_attempt, table);
+        return prune_redundant(best_attempt, table, ctx->kernel_ptr());
       }
-      // full_check extended check_rows with missed cases; repair again.
+      // full_check extended the sample with missed cases; repair again.
     }
   }
   return std::nullopt;
@@ -258,21 +344,21 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
 
 namespace {
 
-/// Spread verification sample used by the post-optimization pass.
-std::vector<std::uint32_t> verification_sample(const DetectabilityTable& table,
-                                               std::size_t cap) {
-  std::vector<std::uint32_t> rows;
+/// Seeds the post-optimization verification sample: a spread over the
+/// whole table (missed full-table rows are added — deduplicated — as the
+/// pass learns them).
+void seed_verification_sample(RowSet& check, const DetectabilityTable& table,
+                              std::size_t cap) {
   if (table.cases.size() > cap) {
     const std::size_t stride = table.cases.size() / cap;
     for (std::size_t i = 0; i < table.cases.size(); i += stride) {
-      rows.push_back(static_cast<std::uint32_t>(i));
+      check.add(static_cast<std::uint32_t>(i));
     }
   } else {
     for (std::size_t i = 0; i < table.cases.size(); ++i) {
-      rows.push_back(static_cast<std::uint32_t>(i));
+      check.add(static_cast<std::uint32_t>(i));
     }
   }
-  return rows;
 }
 
 /// Tries to shrink `best` by dropping one tree and hill-climb repairing the
@@ -280,9 +366,10 @@ std::vector<std::uint32_t> verification_sample(const DetectabilityTable& table,
 /// drop can be repaired.
 void drop_and_repair(std::vector<ParityFunc>& best,
                      const DetectabilityTable& table,
-                     const Algorithm1Options& opts, Algorithm1Stats* stats) {
-  std::vector<std::uint32_t> check_rows =
-      verification_sample(table, opts.verify_sample_cap);
+                     const Algorithm1Options& opts, Algorithm1Stats* stats,
+                     const SolverContext& ctx) {
+  RowSet check(table.cases.size());
+  seed_verification_sample(check, table, opts.verify_sample_cap);
   bool improved = true;
   while (improved && best.size() > 1) {
     improved = false;
@@ -299,18 +386,18 @@ void drop_and_repair(std::vector<ParityFunc>& best,
       bool covered = false;
       for (int attempt = 0; attempt < 4; ++attempt) {
         if (stats) ++stats->repairs;
-        if (!repair_on(cand, table, check_rows, table.num_bits)) break;
-        const auto missed = uncovered_cases(cand, table);
+        if (!repair_on(cand, table, check.rows(), table.num_bits)) break;
+        const auto missed = full_uncovered(ctx, cand);
         if (missed.empty()) {
           covered = true;
           break;
         }
         for (std::size_t i = 0; i < missed.size() && i < 64; ++i) {
-          check_rows.push_back(missed[i]);
+          check.add(missed[i]);
         }
       }
       if (covered) {
-        best = prune_redundant(cand, table);
+        best = prune_redundant(cand, table, ctx.kernel_ptr());
         improved = true;
         break;
       }
@@ -328,6 +415,11 @@ std::vector<ParityFunc> minimize_parity_functions(
     return {};
   }
 
+  // Everything that depends only on the table — the bit-sliced kernel and
+  // the hardness ordering — is computed once here and shared by the greedy
+  // seeding, every q probed by the binary search, and the post-pass.
+  const SolverContext ctx(table);
+
   // Greedy upper bound doubles as the fallback solution; it shares the
   // overall deadline so even the seeding degrades gracefully.
   GreedyOptions greedy_opts = opts.greedy;
@@ -336,17 +428,20 @@ std::vector<ParityFunc> minimize_parity_functions(
   }
   GreedyStats greedy_stats;
   const std::vector<ParityFunc> greedy =
-      greedy_cover(table, greedy_opts, &greedy_stats);
+      greedy_cover(table, greedy_opts, &greedy_stats, ctx.kernel_ptr());
   if (stats && greedy_stats.deadline_hit) {
     stats->greedy_degraded = true;
     stats->deadline_hit = true;
   }
   std::vector<ParityFunc> best = greedy;
   bool from_greedy = true;
-  if (!warm_start.empty() && warm_start.size() <= best.size() &&
-      covers_all(warm_start, table)) {
+  const bool warm_covers =
+      !warm_start.empty() && warm_start.size() <= best.size() &&
+      (ctx.kernel ? ctx.kernel->covers_all(warm_start)
+                  : covers_all(warm_start, table));
+  if (warm_covers) {
     best.assign(warm_start.begin(), warm_start.end());
-    best = prune_redundant(best, table);
+    best = prune_redundant(best, table, ctx.kernel_ptr());
     from_greedy = false;
   }
 
@@ -361,7 +456,7 @@ std::vector<ParityFunc> minimize_parity_functions(
     }
     const int q = left + (right - left) / 2;
     if (stats) stats->qs_tried.push_back(q);
-    auto sol = solve_for_q(table, q, opts, stats);
+    auto sol = solve_for_q(table, q, opts, stats, &ctx);
     if (sol && sol->size() < best.size()) {
       best = std::move(*sol);
       from_greedy = false;
@@ -378,13 +473,13 @@ std::vector<ParityFunc> minimize_parity_functions(
 
   if (opts.post_optimize && !opts.deadline.expired()) {
     const std::size_t before = best.size();
-    drop_and_repair(best, table, opts, stats);
+    drop_and_repair(best, table, opts, stats, ctx);
     if (best.size() < before) from_greedy = false;
     // The incumbent may be a warm start the local search cannot shrink;
     // give the independent greedy solution the same chance when it ties.
     if (!from_greedy && greedy.size() <= best.size()) {
       std::vector<ParityFunc> alt = greedy;
-      drop_and_repair(alt, table, opts, stats);
+      drop_and_repair(alt, table, opts, stats, ctx);
       if (alt.size() < best.size()) best = std::move(alt);
     }
   }

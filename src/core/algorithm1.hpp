@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/coverkernel.hpp"
 #include "core/extract.hpp"
 #include "core/greedy.hpp"
 #include "core/ilp.hpp"
@@ -69,15 +70,42 @@ struct Algorithm1Stats {
   /// True when even the greedy seeding ran out of time and closed out with
   /// single-bit functions.
   bool greedy_degraded = false;
+  /// Rows the pipeline's solver actually saw after subset-dominance
+  /// condensation (see core/coverkernel.hpp); 0 when condensation was
+  /// disabled or the solver was invoked outside the pipeline; equals the
+  /// table size when nothing was dominated.
+  std::size_t condensed_cases = 0;
   std::vector<int> qs_tried;
+};
+
+/// Per-table precomputation shared by every q probed by the binary search
+/// and by the post-optimization pass: the bit-sliced cover kernel plus the
+/// hardness ordering of the rows (both depend only on the table, so they
+/// are built once in minimize_parity_functions instead of per solve_for_q
+/// call). Standalone solve_for_q callers get a local one automatically.
+struct SolverContext {
+  explicit SolverContext(const DetectabilityTable& table);
+
+  const DetectabilityTable* table;
+  /// Engaged unless CED_KERNEL=scalar.
+  std::optional<CoverKernel> kernel;
+  /// Detecting (bit, step) entry count per row (fewest = hardest: those
+  /// rows constrain the LP the most and are sampled first).
+  std::vector<int> hardness;
+  /// Every row index, stably sorted by ascending hardness.
+  std::vector<std::uint32_t> hard_order;
+
+  const CoverKernel* kernel_ptr() const { return kernel ? &*kernel : nullptr; }
 };
 
 /// Tries to find q parity functions covering every case of the table:
 /// LP relaxation (with delayed row generation), randomized rounding per
 /// eq. (1), exact Statement-4 verification against the full table.
+/// `ctx` (optional) shares the kernel and hardness precomputation across
+/// calls; it must have been built for this same table.
 std::optional<std::vector<ParityFunc>> solve_for_q(
     const DetectabilityTable& table, int q, const Algorithm1Options& opts = {},
-    Algorithm1Stats* stats = nullptr);
+    Algorithm1Stats* stats = nullptr, const SolverContext* ctx = nullptr);
 
 /// Algorithm 1: binary search on q (upper bound seeded by the greedy
 /// solver, which also serves as the fallback solution). Returns a complete

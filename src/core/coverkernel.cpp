@@ -1,0 +1,319 @@
+#include "core/coverkernel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <unordered_set>
+
+namespace ced::core {
+namespace {
+
+std::atomic<int>& mode_override() {
+  static std::atomic<int> v{-1};
+  return v;
+}
+
+KernelMode env_mode() {
+  static const KernelMode m = [] {
+    const char* e = std::getenv("CED_KERNEL");
+    return (e != nullptr && std::string_view(e) == "scalar")
+               ? KernelMode::kScalar
+               : KernelMode::kBitsliced;
+  }();
+  return m;
+}
+
+}  // namespace
+
+KernelMode kernel_mode() {
+  const int o = mode_override().load(std::memory_order_relaxed);
+  return o < 0 ? env_mode() : static_cast<KernelMode>(o);
+}
+
+ScopedKernelMode::ScopedKernelMode(KernelMode mode)
+    : saved_(mode_override().exchange(static_cast<int>(mode),
+                                      std::memory_order_relaxed)) {}
+
+ScopedKernelMode::~ScopedKernelMode() {
+  mode_override().store(saved_, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// CoverKernel
+// ---------------------------------------------------------------------------
+
+CoverKernel::CoverKernel(const DetectabilityTable& table) {
+  build(table, {});
+}
+
+CoverKernel::CoverKernel(const DetectabilityTable& table,
+                         std::span<const std::uint32_t> rows) {
+  rows_.assign(rows.begin(), rows.end());
+  build(table, rows_);
+}
+
+void CoverKernel::build(const DetectabilityTable& table,
+                        std::span<const std::uint32_t> rows) {
+  n_ = table.num_bits;
+  beta_mask_ = n_ >= 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << n_) - 1);
+  m_ = rows_.empty() ? table.cases.size() : rows_.size();
+  words_ = (m_ + 63) / 64;
+#ifndef NDEBUG
+  table_ = &table;
+#endif
+
+  steps_ = 0;
+  for (std::size_t r = 0; r < m_; ++r) {
+    const ErroneousCase& ec =
+        table.cases[rows_.empty() ? r : rows[r]];
+    steps_ = std::max(steps_, static_cast<int>(ec.length));
+  }
+  cols_.assign(static_cast<std::size_t>(steps_) *
+                   static_cast<std::size_t>(n_) * words_,
+               0);
+
+  // Scatter: bit j of diff word k of local row r sets bit r of column
+  // (k, j). One pass over the selected rows.
+  for (std::size_t r = 0; r < m_; ++r) {
+    const ErroneousCase& ec =
+        table.cases[rows_.empty() ? r : rows[r]];
+    const std::uint64_t row_bit = std::uint64_t{1} << (r & 63);
+    const std::size_t row_word = r >> 6;
+    for (int k = 0; k < ec.length; ++k) {
+      std::uint64_t w = ec.diff[static_cast<std::size_t>(k)] & beta_mask_;
+      const std::size_t step_base = static_cast<std::size_t>(k) *
+                                    static_cast<std::size_t>(n_) * words_;
+      while (w != 0) {
+        const int j = std::countr_zero(w);
+        w &= w - 1;
+        cols_[step_base + static_cast<std::size_t>(j) * words_ + row_word] |=
+            row_bit;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// out = XOR of the selected columns (overwrite). `beta` nonzero.
+void xor_selected(const CoverKernel& k, int step, ParityFunc beta,
+                  std::uint64_t* out) {
+  bool first = true;
+  while (beta != 0) {
+    const int j = std::countr_zero(beta);
+    beta &= beta - 1;
+    const auto col = k.column(step, j);
+    if (first) {
+      std::memcpy(out, col.data(), col.size() * sizeof(std::uint64_t));
+      first = false;
+    } else {
+      for (std::size_t w = 0; w < col.size(); ++w) out[w] ^= col[w];
+    }
+  }
+}
+
+std::uint64_t last_word_mask(std::size_t m) {
+  const std::size_t rem = m & 63;
+  return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+}
+
+}  // namespace
+
+void CoverKernel::covered_bitmap(ParityFunc beta, std::uint64_t* out) const {
+  std::fill(out, out + words_, 0);
+  accumulate_covered(beta, out);
+}
+
+void CoverKernel::accumulate_covered(ParityFunc beta,
+                                     std::uint64_t* acc) const {
+  beta &= beta_mask_;
+  if (beta == 0 || m_ == 0) return;
+  std::vector<std::uint64_t> tmp(words_);
+  for (int k = 0; k < steps_; ++k) {
+    xor_selected(*this, k, beta, tmp.data());
+    for (std::size_t w = 0; w < words_; ++w) acc[w] |= tmp[w];
+  }
+}
+
+std::size_t CoverKernel::count(const std::uint64_t* bits) const {
+  std::size_t c = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    c += static_cast<std::size_t>(std::popcount(bits[w]));
+  }
+  return c;
+}
+
+std::size_t CoverKernel::coverage_count(ParityFunc beta) const {
+  if (m_ == 0) return 0;
+  std::vector<std::uint64_t> cov(words_);
+  accumulate_covered(beta, cov.data());
+  return count(cov.data());
+}
+
+bool CoverKernel::covers_all(std::span<const ParityFunc> betas) const {
+  const bool full = uncovered_count(betas) == 0;
+#ifndef NDEBUG
+  // Scalar-oracle agreement (debug builds only).
+  bool scalar = true;
+  for (std::size_t r = 0; r < m_ && scalar; ++r) {
+    scalar = covers(betas, table_->cases[global_row(
+                               static_cast<std::uint32_t>(r))]);
+  }
+  assert(scalar == full && "CoverKernel::covers_all disagrees with scalar");
+#endif
+  return full;
+}
+
+std::size_t CoverKernel::uncovered_count(
+    std::span<const ParityFunc> betas) const {
+  if (m_ == 0) return 0;
+  std::vector<std::uint64_t> acc(words_);
+  for (const ParityFunc b : betas) accumulate_covered(b, acc.data());
+  return m_ - count(acc.data());
+}
+
+std::vector<std::uint32_t> CoverKernel::uncovered(
+    std::span<const ParityFunc> betas) const {
+  std::vector<std::uint32_t> out;
+  if (m_ == 0) return out;
+  std::vector<std::uint64_t> acc(words_);
+  for (const ParityFunc b : betas) accumulate_covered(b, acc.data());
+  acc[words_ - 1] |= ~last_word_mask(m_);  // padding reads as covered
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t miss = ~acc[w];
+    while (miss != 0) {
+      const int b = std::countr_zero(miss);
+      miss &= miss - 1;
+      out.push_back(static_cast<std::uint32_t>((w << 6) + b));
+    }
+  }
+#ifndef NDEBUG
+  // Scalar-oracle agreement (debug builds only).
+  std::vector<std::uint32_t> scalar;
+  for (std::size_t r = 0; r < m_; ++r) {
+    if (!covers(betas,
+                table_->cases[global_row(static_cast<std::uint32_t>(r))])) {
+      scalar.push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  assert(scalar == out && "CoverKernel::uncovered disagrees with scalar");
+#endif
+  return out;
+}
+
+bool CoverKernel::union_is_full(const std::uint64_t* a,
+                                const std::uint64_t* b) const {
+  if (m_ == 0) return true;
+  for (std::size_t w = 0; w + 1 < words_; ++w) {
+    if ((a[w] | b[w]) != ~std::uint64_t{0}) return false;
+  }
+  return (a[words_ - 1] | b[words_ - 1] | ~last_word_mask(m_)) ==
+         ~std::uint64_t{0};
+}
+
+// ---------------------------------------------------------------------------
+// BetaCursor
+// ---------------------------------------------------------------------------
+
+BetaCursor::BetaCursor(const CoverKernel& kernel, ParityFunc beta)
+    : k_(&kernel),
+      steps_(static_cast<std::size_t>(kernel.num_steps()) *
+                 kernel.num_words(),
+             0) {
+  beta &= kernel.num_bits() >= 64
+              ? ~std::uint64_t{0}
+              : ((std::uint64_t{1} << kernel.num_bits()) - 1);
+  while (beta != 0) {
+    const int j = std::countr_zero(beta);
+    beta &= beta - 1;
+    flip(j);
+  }
+}
+
+void BetaCursor::flip(int j) {
+  beta_ ^= std::uint64_t{1} << j;
+  const std::size_t W = k_->num_words();
+  for (int k = 0; k < k_->num_steps(); ++k) {
+    const auto col = k_->column(k, j);
+    std::uint64_t* step = steps_.data() + static_cast<std::size_t>(k) * W;
+    for (std::size_t w = 0; w < W; ++w) step[w] ^= col[w];
+  }
+}
+
+std::size_t BetaCursor::covered_count() const {
+  const std::size_t W = k_->num_words();
+  const int steps = k_->num_steps();
+  std::size_t c = 0;
+  for (std::size_t w = 0; w < W; ++w) {
+    std::uint64_t acc = 0;
+    for (int k = 0; k < steps; ++k) {
+      acc |= steps_[static_cast<std::size_t>(k) * W + w];
+    }
+    c += static_cast<std::size_t>(std::popcount(acc));
+  }
+  return c;
+}
+
+void BetaCursor::or_covered_into(std::uint64_t* acc) const {
+  const std::size_t W = k_->num_words();
+  const int steps = k_->num_steps();
+  for (std::size_t w = 0; w < W; ++w) {
+    std::uint64_t v = 0;
+    for (int k = 0; k < steps; ++k) {
+      v |= steps_[static_cast<std::size_t>(k) * W + w];
+    }
+    acc[w] |= v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Condensation
+// ---------------------------------------------------------------------------
+
+CondensedTable condense_table(const DetectabilityTable& table) {
+  CondensedTable out;
+  out.table = table;
+  out.table.cases.clear();
+  out.table.cases.reserve(table.cases.size());
+  out.kept_rows.reserve(table.cases.size());
+
+  std::unordered_set<ErroneousCase, ErroneousCaseHash> all(
+      table.cases.begin(), table.cases.end(), table.cases.size() * 2 + 1);
+
+  for (std::size_t i = 0; i < table.cases.size(); ++i) {
+    const ErroneousCase& ec = table.cases[i];
+    bool dominated = false;
+    if (ec.length > 1) {
+      // Probe every nonempty proper subset of the word set; the subset of a
+      // sorted distinct sequence is itself sorted and distinct, hence
+      // canonical and directly hashable.
+      const unsigned full = (1u << ec.length) - 1u;
+      for (unsigned sel = 1; sel < full && !dominated; ++sel) {
+        ErroneousCase sub;
+        sub.length = static_cast<std::uint8_t>(std::popcount(sel));
+        int t = 0;
+        for (int k = 0; k < ec.length; ++k) {
+          if ((sel >> k) & 1u) {
+            sub.diff[static_cast<std::size_t>(t++)] =
+                ec.diff[static_cast<std::size_t>(k)];
+          }
+        }
+        dominated = all.contains(sub);
+      }
+    }
+    if (dominated) {
+      ++out.removed;
+    } else {
+      out.kept_rows.push_back(static_cast<std::uint32_t>(i));
+      out.table.cases.push_back(ec);
+    }
+  }
+  return out;
+}
+
+}  // namespace ced::core

@@ -1,11 +1,79 @@
 #include "core/exact.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
+#include "core/coverkernel.hpp"
 #include "logic/bitvec.hpp"
 
 namespace ced::core {
 namespace {
+
+/// Enumerates every candidate parity function with its coverage set.
+/// Bit-sliced path: walk the 2^n - 1 nonzero betas in Gray-code order, so
+/// consecutive candidates differ in exactly one bit and the cursor moves by
+/// a single column XOR per step — then sort back to ascending beta so the
+/// candidate order (and with it dominance pruning and branch and bound)
+/// matches the scalar enumeration exactly.
+void enumerate_candidates(const DetectabilityTable& table,
+                          std::vector<ParityFunc>& candidates,
+                          std::vector<logic::BitVec>& cover_sets) {
+  const int n = table.num_bits;
+  const std::size_t m = table.cases.size();
+  const std::uint64_t num_candidates = (std::uint64_t{1} << n) - 1;
+
+  if (kernel_mode() == KernelMode::kScalar) {
+    candidates.reserve(num_candidates);
+    for (std::uint64_t beta = 1; beta <= num_candidates; ++beta) {
+      logic::BitVec cov(m);
+      bool any = false;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (covers(beta, table.cases[i])) {
+          cov.set(i);
+          any = true;
+        }
+      }
+      if (!any) continue;
+      candidates.push_back(beta);
+      cover_sets.push_back(std::move(cov));
+    }
+    return;
+  }
+
+  const CoverKernel kernel(table);
+  BetaCursor cur(kernel, 0);
+  std::vector<std::uint64_t> covered(kernel.num_words());
+  std::vector<std::pair<ParityFunc, logic::BitVec>> found;
+  std::uint64_t prev_gray = 0;
+  for (std::uint64_t i = 1; i <= num_candidates; ++i) {
+    const std::uint64_t gray = i ^ (i >> 1);
+    cur.flip(std::countr_zero(gray ^ prev_gray));
+    prev_gray = gray;
+    std::fill(covered.begin(), covered.end(), 0);
+    cur.or_covered_into(covered.data());
+    logic::BitVec cov(m);
+    bool any = false;
+    for (std::size_t w = 0; w < covered.size(); ++w) {
+      std::uint64_t bits = covered[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        cov.set((w << 6) + static_cast<std::size_t>(b));
+        any = true;
+      }
+    }
+    if (any) found.emplace_back(cur.beta(), std::move(cov));
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  candidates.reserve(found.size());
+  cover_sets.reserve(found.size());
+  for (auto& [beta, cov] : found) {
+    candidates.push_back(beta);
+    cover_sets.push_back(std::move(cov));
+  }
+}
 
 /// Branch-and-bound minimum cover over precomputed candidate coverage sets.
 class Bnb {
@@ -101,24 +169,11 @@ std::optional<std::vector<ParityFunc>> exact_min_cover(
     return std::nullopt;
   }
 
-  // Enumerate all candidate parity functions with their coverage sets.
-  const std::uint64_t num_candidates = (std::uint64_t{1} << n) - 1;
+  // Enumerate all candidate parity functions with their coverage sets
+  // (Gray-code walk on the bit-sliced kernel; scalar under CED_KERNEL).
   std::vector<ParityFunc> candidates;
   std::vector<logic::BitVec> cover_sets;
-  candidates.reserve(num_candidates);
-  for (std::uint64_t beta = 1; beta <= num_candidates; ++beta) {
-    logic::BitVec cov(m);
-    bool any = false;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (covers(beta, table.cases[i])) {
-        cov.set(i);
-        any = true;
-      }
-    }
-    if (!any) continue;
-    candidates.push_back(beta);
-    cover_sets.push_back(std::move(cov));
-  }
+  enumerate_candidates(table, candidates, cover_sets);
 
   // Dominance pruning: drop candidates whose coverage is a subset of
   // another candidate's (keep the first of equals).

@@ -1,7 +1,10 @@
 #include "core/greedy.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
+#include "core/coverkernel.hpp"
 #include "core/rng.hpp"
 
 namespace ced::core {
@@ -38,9 +41,32 @@ ParityFunc climb(ParityFunc beta, int n, const DetectabilityTable& table,
   return beta;
 }
 
-}  // namespace
-
-namespace {
+/// Kernel twin of `climb`: the candidate at each step is the current beta
+/// with one bit flipped, so the cursor's per-step bitmaps move by a single
+/// column XOR per probe (flip back on rejection). Same starting points,
+/// same acceptance rule, same scan order — identical result, without the
+/// per-case popcount re-scan.
+std::pair<ParityFunc, std::size_t> climb_kernel(ParityFunc beta, int n,
+                                                const CoverKernel& kernel) {
+  BetaCursor cur(kernel, beta);
+  std::size_t best = cur.covered_count();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int j = 0; j < n; ++j) {
+      if ((cur.beta() ^ (std::uint64_t{1} << j)) == 0) continue;
+      cur.flip(j);
+      const std::size_t c = cur.covered_count();
+      if (c > best) {
+        best = c;
+        improved = true;
+      } else {
+        cur.flip(j);
+      }
+    }
+  }
+  return {cur.beta(), best};
+}
 
 /// Covers every case index in `pending` (a subset of the table) by
 /// repeatedly appending the best hill-climbed parity function.
@@ -50,15 +76,26 @@ void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
   const int n = table.num_bits;
   const std::uint64_t mask =
       n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  const bool bitsliced = kernel_mode() == KernelMode::kBitsliced;
   while (!pending.empty()) {
     if (opts.deadline.expired()) return;  // caller closes out the remainder
+    // The pending set shrinks every round, so a fresh subset kernel per
+    // round stays proportional to the remaining work.
+    std::optional<CoverKernel> sub;
+    if (bitsliced) sub.emplace(table, pending);
     ParityFunc best_beta = 0;
     std::size_t best_cov = 0;
 
     auto consider = [&](ParityFunc start) {
-      const ParityFunc b = climb(start & mask, n, table, pending);
+      ParityFunc b;
+      std::size_t c;
+      if (sub) {
+        std::tie(b, c) = climb_kernel(start & mask, n, *sub);
+      } else {
+        b = climb(start & mask, n, table, pending);
+        c = coverage_over(b, table, pending);
+      }
       if (b == 0) return;
-      const std::size_t c = coverage_over(b, table, pending);
       if (c > best_cov) {
         best_cov = c;
         best_beta = b;
@@ -81,14 +118,23 @@ void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
           break;
         }
       }
-      best_cov = coverage_over(best_beta, table, pending);
+      best_cov = sub ? sub->coverage_count(best_beta)
+                     : coverage_over(best_beta, table, pending);
     }
 
     solution.push_back(best_beta);
     std::vector<std::uint32_t> still;
     still.reserve(pending.size() - best_cov);
-    for (std::uint32_t i : pending) {
-      if (!covers(best_beta, table.cases[i])) still.push_back(i);
+    if (sub) {
+      std::vector<std::uint64_t> cov(sub->num_words());
+      sub->covered_bitmap(best_beta, cov.data());
+      for (std::size_t r = 0; r < pending.size(); ++r) {
+        if (!((cov[r >> 6] >> (r & 63)) & 1u)) still.push_back(pending[r]);
+      }
+    } else {
+      for (std::uint32_t i : pending) {
+        if (!covers(best_beta, table.cases[i])) still.push_back(i);
+      }
     }
     pending = std::move(still);
   }
@@ -98,9 +144,20 @@ void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
 
 std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
                                      const GreedyOptions& opts,
-                                     GreedyStats* stats) {
+                                     GreedyStats* stats,
+                                     const CoverKernel* full_kernel) {
   Rng rng(opts.seed);
   std::vector<ParityFunc> solution;
+  const bool bitsliced = kernel_mode() == KernelMode::kBitsliced;
+  std::optional<CoverKernel> own_kernel;
+  if (bitsliced && full_kernel == nullptr && !table.cases.empty()) {
+    own_kernel.emplace(table);
+  }
+  const CoverKernel* full = nullptr;
+  if (bitsliced) {
+    full = full_kernel != nullptr ? full_kernel
+                                  : (own_kernel ? &*own_kernel : nullptr);
+  }
 
   // Work on samples of the uncovered set; re-verify against the full table
   // between rounds. Each round strictly shrinks the uncovered set, so this
@@ -147,10 +204,11 @@ std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
       }
     }
     cover_subset(table, opts, std::move(sample), rng, solution);
-    pending = uncovered_cases(solution, table);
+    pending = full != nullptr ? full->uncovered(solution)
+                              : uncovered_cases(solution, table);
   }
 
-  return prune_redundant(solution, table);
+  return prune_redundant(solution, table, full);
 }
 
 }  // namespace ced::core

@@ -32,6 +32,8 @@ struct GreedyStats {
   int single_bit_completions = 0;
 };
 
+class CoverKernel;
+
 /// Greedy set-cover style baseline: repeatedly picks the parity function
 /// covering the most still-uncovered erroneous cases, where each candidate
 /// is found by hill-climbing over bit flips from several starting points.
@@ -39,8 +41,14 @@ struct GreedyStats {
 /// progress: diff[0] of every case is nonzero, so some bit of step 1
 /// detects it... more precisely, any bit set in diff[0] gives odd overlap
 /// when chosen alone).
+///
+/// The hill climbs run on the bit-sliced kernel (delta evaluation: one
+/// column XOR per flipped bit) unless CED_KERNEL=scalar; both paths pick
+/// identical functions. `full_kernel` optionally reuses a caller-held
+/// full-table kernel (else one is built internally when needed).
 std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
                                      const GreedyOptions& opts = {},
-                                     GreedyStats* stats = nullptr);
+                                     GreedyStats* stats = nullptr,
+                                     const CoverKernel* full_kernel = nullptr);
 
 }  // namespace ced::core

@@ -2,10 +2,87 @@
 
 #include <bit>
 
+#include "core/coverkernel.hpp"
+
 namespace ced::core {
+namespace {
+
+/// Whether to route a one-shot query through a freshly built bit-sliced
+/// kernel. Building costs one scatter pass over the rows, so it only pays
+/// off for multi-beta queries on enough rows; both paths compute identical
+/// results, so the threshold affects speed only.
+bool route_to_kernel(std::size_t num_rows, std::size_t num_betas) {
+  return kernel_mode() == KernelMode::kBitsliced && num_betas >= 2 &&
+         num_rows >= 1024;
+}
+
+std::vector<ParityFunc> prune_scalar(std::span<const ParityFunc> betas,
+                                     const DetectabilityTable& table) {
+  std::vector<ParityFunc> kept(betas.begin(), betas.end());
+  // Try removing from the back so earlier (usually stronger) trees survive.
+  for (std::size_t i = kept.size(); i-- > 0;) {
+    std::vector<ParityFunc> trial;
+    trial.reserve(kept.size() - 1);
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) trial.push_back(kept[j]);
+    }
+    bool all = true;
+    for (const ErroneousCase& ec : table.cases) {
+      if (!covers(trial, ec)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) kept = std::move(trial);
+  }
+  return kept;
+}
+
+/// One pass over per-tree coverage bitmaps instead of the O(q^2 * m)
+/// re-verification loop. Walking trees from the back, tree t is removable
+/// iff the union of every earlier tree (all still present when the scalar
+/// loop reaches t) and every kept later tree already covers all rows —
+/// i.e. no row is covered only by tree t. Prefix unions are precomputed
+/// and the kept-suffix union accumulates during the walk, reproducing the
+/// scalar back-to-front removal order exactly.
+std::vector<ParityFunc> prune_kernel(std::span<const ParityFunc> betas,
+                                     const CoverKernel& kernel) {
+  const std::size_t q = betas.size();
+  const std::size_t W = kernel.num_words();
+  std::vector<std::uint64_t> cov(q * W, 0);
+  for (std::size_t t = 0; t < q; ++t) {
+    kernel.covered_bitmap(betas[t], cov.data() + t * W);
+  }
+  std::vector<std::uint64_t> pre((q + 1) * W, 0);
+  for (std::size_t t = 0; t < q; ++t) {
+    for (std::size_t w = 0; w < W; ++w) {
+      pre[(t + 1) * W + w] = pre[t * W + w] | cov[t * W + w];
+    }
+  }
+  std::vector<std::uint64_t> suf(W, 0);
+  std::vector<char> keep(q, 1);
+  for (std::size_t t = q; t-- > 0;) {
+    if (kernel.union_is_full(pre.data() + t * W, suf.data())) {
+      keep[t] = 0;
+    } else {
+      for (std::size_t w = 0; w < W; ++w) suf[w] |= cov[t * W + w];
+    }
+  }
+  std::vector<ParityFunc> out;
+  out.reserve(q);
+  for (std::size_t t = 0; t < q; ++t) {
+    if (keep[t]) out.push_back(betas[t]);
+  }
+  return out;
+}
+
+}  // namespace
 
 bool covers_all(std::span<const ParityFunc> betas,
                 const DetectabilityTable& table) {
+  if (route_to_kernel(table.cases.size(), betas.size())) {
+    return CoverKernel(table).covers_all(betas);
+  }
   for (const ErroneousCase& ec : table.cases) {
     if (!covers(betas, ec)) return false;
   }
@@ -14,6 +91,9 @@ bool covers_all(std::span<const ParityFunc> betas,
 
 std::vector<std::uint32_t> uncovered_cases(std::span<const ParityFunc> betas,
                                            const DetectabilityTable& table) {
+  if (route_to_kernel(table.cases.size(), betas.size())) {
+    return CoverKernel(table).uncovered(betas);
+  }
   std::vector<std::uint32_t> out;
   for (std::size_t i = 0; i < table.cases.size(); ++i) {
     if (!covers(betas, table.cases[i])) {
@@ -26,6 +106,14 @@ std::vector<std::uint32_t> uncovered_cases(std::span<const ParityFunc> betas,
 std::vector<std::uint32_t> uncovered_among(
     std::span<const ParityFunc> betas, const DetectabilityTable& table,
     std::span<const std::uint32_t> rows) {
+  if (route_to_kernel(rows.size(), betas.size())) {
+    const CoverKernel kernel(table, rows);
+    std::vector<std::uint32_t> out = kernel.uncovered(betas);
+    // Local subset rows -> table rows; local order follows `rows` order, so
+    // the result matches the scalar iteration exactly.
+    for (std::uint32_t& r : out) r = rows[r];
+    return out;
+  }
   std::vector<std::uint32_t> out;
   for (std::uint32_t i : rows) {
     if (!covers(betas, table.cases[i])) out.push_back(i);
@@ -34,18 +122,18 @@ std::vector<std::uint32_t> uncovered_among(
 }
 
 std::vector<ParityFunc> prune_redundant(std::span<const ParityFunc> betas,
-                                        const DetectabilityTable& table) {
-  std::vector<ParityFunc> kept(betas.begin(), betas.end());
-  // Try removing from the back so earlier (usually stronger) trees survive.
-  for (std::size_t i = kept.size(); i-- > 0;) {
-    std::vector<ParityFunc> trial;
-    trial.reserve(kept.size() - 1);
-    for (std::size_t j = 0; j < kept.size(); ++j) {
-      if (j != i) trial.push_back(kept[j]);
-    }
-    if (covers_all(trial, table)) kept = std::move(trial);
+                                        const DetectabilityTable& table,
+                                        const CoverKernel* kernel) {
+  if (kernel_mode() == KernelMode::kScalar) {
+    return prune_scalar(betas, table);
   }
-  return kept;
+  if (kernel != nullptr) return prune_kernel(betas, *kernel);
+  return prune_kernel(betas, CoverKernel(table));
+}
+
+std::vector<ParityFunc> prune_redundant(std::span<const ParityFunc> betas,
+                                        const DetectabilityTable& table) {
+  return prune_redundant(betas, table, nullptr);
 }
 
 }  // namespace ced::core

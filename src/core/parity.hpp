@@ -52,9 +52,21 @@ std::vector<std::uint32_t> uncovered_among(std::span<const ParityFunc> betas,
                                            const DetectabilityTable& table,
                                            std::span<const std::uint32_t> rows);
 
+class CoverKernel;
+
 /// Drops parity functions that cover no case not already covered by the
-/// rest (cheap post-pass; keeps earlier functions preferentially).
+/// rest (cheap post-pass; keeps earlier functions preferentially). Runs in
+/// one pass over per-tree coverage bitmaps on the bit-sliced kernel
+/// (core/coverkernel.hpp), or as the original O(q^2 * m) re-verification
+/// loop under CED_KERNEL=scalar; both orders of removal — and hence the
+/// results — are identical.
 std::vector<ParityFunc> prune_redundant(std::span<const ParityFunc> betas,
                                         const DetectabilityTable& table);
+
+/// Variant reusing a caller-held full-table kernel (built once per table by
+/// the solvers); `kernel` may be null to build one internally.
+std::vector<ParityFunc> prune_redundant(std::span<const ParityFunc> betas,
+                                        const DetectabilityTable& table,
+                                        const CoverKernel* kernel);
 
 }  // namespace ced::core

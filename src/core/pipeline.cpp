@@ -122,7 +122,11 @@ std::vector<ParityFunc> duplication_floor_cover(
   return out;
 }
 
-std::vector<ParityFunc> select_parities_resilient(
+namespace {
+
+/// The degradation cascade on one (possibly condensed) table; the public
+/// wrapper below handles condensation and full-table re-verification.
+std::vector<ParityFunc> select_parities_on(
     const DetectabilityTable& table, const PipelineOptions& opts,
     const Deadline& deadline, Algorithm1Stats* stats,
     std::span<const ParityFunc> warm_start, ResilienceReport& resilience) {
@@ -239,6 +243,44 @@ std::vector<ParityFunc> select_parities_resilient(
     stats->greedy_fallback = true;
     stats->deadline_hit = stats->deadline_hit || gs.deadline_hit;
     stats->greedy_degraded = stats->greedy_degraded || gs.deadline_hit;
+  }
+  return sol;
+}
+
+}  // namespace
+
+std::vector<ParityFunc> select_parities_resilient(
+    const DetectabilityTable& table, const PipelineOptions& opts,
+    const Deadline& deadline, Algorithm1Stats* stats,
+    std::span<const ParityFunc> warm_start, ResilienceReport& resilience) {
+  if (!opts.condense || table.cases.empty()) {
+    return select_parities_on(table, opts, deadline, stats, warm_start,
+                              resilience);
+  }
+
+  // Subset-dominance condensation (coverkernel.hpp): rows whose word set
+  // contains another row's word set add no constraint, so the solvers see
+  // a smaller m with the same optimal q.
+  const CondensedTable cond = condense_table(table);
+  if (stats) stats->condensed_cases = cond.table.cases.size();
+  if (cond.removed == 0) {
+    return select_parities_on(table, opts, deadline, stats, warm_start,
+                              resilience);
+  }
+  std::vector<ParityFunc> sol = select_parities_on(
+      cond.table, opts, deadline, stats, warm_start, resilience);
+  // The dominance argument makes a condensed-table cover a full-table
+  // cover; re-verify anyway (cheap on the kernel) so a condensation defect
+  // could never ship an unsound scheme — fall back to the raw table if the
+  // impossible happens.
+  if (!covers_all(sol, table)) {
+    resilience.record(Stage::kPipeline, StatusCode::kInternal,
+                      "condensed-table cover failed full-table verification; "
+                      "re-solving on the raw table",
+                      0.0, table.cases.size());
+    if (stats) stats->condensed_cases = 0;
+    return select_parities_on(table, opts, deadline, stats, warm_start,
+                              resilience);
   }
   return sol;
 }

@@ -40,6 +40,12 @@ struct PipelineOptions {
   /// CED hardware) are identical for every thread count on non-truncated
   /// runs; only wall-clock changes.
   int threads = 0;
+  /// Subset-dominance condensation before the solver (coverkernel.hpp):
+  /// rows whose difference-word set contains another row's set add no
+  /// constraint and are deleted, shrinking m before the LP/rounding ever
+  /// runs. Provably solution-preserving (the returned cover is re-verified
+  /// against the full table); disable to solve on the raw table.
+  bool condense = true;
   /// Resource budget for the whole run. When any valve trips, stages
   /// degrade (exact -> LP+RR -> greedy -> duplication-style floor; table
   /// truncation) instead of throwing; see PipelineReport::resilience.

@@ -88,26 +88,34 @@ class Tableau {
   }
 
   /// Gauss-Jordan pivot on (r, j); T[r][j] must be nonzero.
+  ///
+  /// The row updates are written over __restrict__ row pointers so the
+  /// element-wise axpy loops vectorize (rows of t_ never alias each other
+  /// for i != r). Plain mul+sub per element — no reduction, no FMA
+  /// contraction — so the vectorized result is bit-identical to the scalar
+  /// loop and the pivot sequence never depends on the compiler.
   void pivot(int r, int j) {
-    const double p = at(r, j);
+    const std::size_t n = static_cast<std::size_t>(n_);
+    double* __restrict__ row_r = t_.data() + static_cast<std::size_t>(r) * n;
+    const double p = row_r[static_cast<std::size_t>(j)];
     const double inv = 1.0 / p;
-    for (int k = 0; k < n_; ++k) at(r, k) *= inv;
+    for (std::size_t k = 0; k < n; ++k) row_r[k] *= inv;
     b_[static_cast<std::size_t>(r)] *= inv;
-    at(r, j) = 1.0;
+    row_r[static_cast<std::size_t>(j)] = 1.0;
     for (int i = 0; i < m_; ++i) {
       if (i == r) continue;
-      const double f = at(i, j);
+      double* __restrict__ row_i = t_.data() + static_cast<std::size_t>(i) * n;
+      const double f = row_i[static_cast<std::size_t>(j)];
       if (f == 0.0) continue;
-      for (int k = 0; k < n_; ++k) at(i, k) -= f * at(r, k);
-      at(i, j) = 0.0;
+      for (std::size_t k = 0; k < n; ++k) row_i[k] -= f * row_r[k];
+      row_i[static_cast<std::size_t>(j)] = 0.0;
       b_[static_cast<std::size_t>(i)] -= f * b_[static_cast<std::size_t>(r)];
     }
     const double fd = d_[static_cast<std::size_t>(j)];
     if (fd != 0.0) {
-      for (int k = 0; k < n_; ++k) {
-        d_[static_cast<std::size_t>(k)] -= fd * at(r, k);
-      }
-      d_[static_cast<std::size_t>(j)] = 0.0;
+      double* __restrict__ d = d_.data();
+      for (std::size_t k = 0; k < n; ++k) d[k] -= fd * row_r[k];
+      d[static_cast<std::size_t>(j)] = 0.0;
     }
     basis_[static_cast<std::size_t>(r)] = j;
   }

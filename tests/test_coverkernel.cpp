@@ -1,0 +1,330 @@
+// Bit-sliced cover kernel (core/coverkernel.hpp): randomized equivalence
+// against the scalar popcount oracle, condensation soundness, and
+// scalar-vs-kernel / thread-count result identity for every solver that
+// routes through the kernel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "benchdata/suite.hpp"
+#include "core/algorithm1.hpp"
+#include "core/coverkernel.hpp"
+#include "core/exact.hpp"
+#include "core/extract.hpp"
+#include "core/greedy.hpp"
+#include "core/parity.hpp"
+#include "core/pipeline.hpp"
+#include "fsm/synthesize.hpp"
+#include "sim/faults.hpp"
+
+namespace ced::core {
+namespace {
+
+/// Random table in canonical form: each case is a sorted set of 1..max_len
+/// distinct nonzero difference words over n bits.
+DetectabilityTable random_table(std::mt19937_64& rng, int n, std::size_t m,
+                                int max_len) {
+  DetectabilityTable t;
+  t.num_bits = n;
+  t.latency = max_len;
+  const std::uint64_t mask =
+      n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  std::uniform_int_distribution<int> len_dist(1, max_len);
+  while (t.cases.size() < m) {
+    std::set<std::uint64_t> words;
+    const int len = len_dist(rng);
+    for (int k = 0; k < len; ++k) {
+      const std::uint64_t w = rng() & mask;
+      if (w != 0) words.insert(w);
+    }
+    if (words.empty()) continue;
+    ErroneousCase ec;
+    ec.length = static_cast<std::uint8_t>(words.size());
+    std::size_t k = 0;
+    for (const std::uint64_t w : words) ec.diff[k++] = w;
+    t.cases.push_back(ec);
+  }
+  return t;
+}
+
+ParityFunc random_beta(std::mt19937_64& rng, int n) {
+  const std::uint64_t mask =
+      n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  const std::uint64_t beta = rng() & mask;
+  return beta != 0 ? beta : 1;
+}
+
+std::size_t scalar_count(ParityFunc beta, const DetectabilityTable& t) {
+  std::size_t c = 0;
+  for (const ErroneousCase& ec : t.cases) c += covers(beta, ec) ? 1 : 0;
+  return c;
+}
+
+DetectabilityTable suite_table(const std::string& name, int p) {
+  const fsm::Fsm f = benchdata::suite_fsm(name);
+  const fsm::FsmCircuit c =
+      fsm::synthesize_fsm(f, fsm::EncodingKind::kBinary, {});
+  const auto faults = sim::enumerate_stuck_at(c.netlist);
+  ExtractOptions opts;
+  opts.latency = p;
+  opts.threads = 1;
+  return extract_cases(c, faults, opts);
+}
+
+// Sizes cross the 64-row word boundary and include the n = 64 full-mask
+// edge; lengths span 1..kMaxLatency.
+struct Shape {
+  int n;
+  std::size_t m;
+  int max_len;
+};
+const Shape kShapes[] = {
+    {4, 7, 1},   {12, 64, 2},        {33, 130, 3},
+    {64, 1, 4},  {64, 200, kMaxLatency},
+};
+
+TEST(CoverKernel, MatchesScalarOnRandomTables) {
+  std::mt19937_64 rng(1);
+  for (const Shape& s : kShapes) {
+    const DetectabilityTable t = random_table(rng, s.n, s.m, s.max_len);
+    const CoverKernel kernel(t);
+    ASSERT_EQ(kernel.num_rows(), t.cases.size());
+    ASSERT_EQ(kernel.num_bits(), s.n);
+
+    std::vector<ParityFunc> set;
+    for (int i = 0; i < 16; ++i) {
+      const ParityFunc beta = random_beta(rng, s.n);
+      set.push_back(beta);
+      EXPECT_EQ(kernel.coverage_count(beta), scalar_count(beta, t))
+          << "n=" << s.n << " m=" << s.m << " beta=" << beta;
+      std::vector<std::uint64_t> bitmap(kernel.num_words());
+      kernel.covered_bitmap(beta, bitmap.data());
+      for (std::size_t r = 0; r < t.cases.size(); ++r) {
+        EXPECT_EQ((bitmap[r >> 6] >> (r & 63)) & 1,
+                  covers(beta, t.cases[r]) ? 1u : 0u);
+      }
+      // Padding bits beyond num_rows stay zero.
+      if (t.cases.size() % 64 != 0) {
+        EXPECT_EQ(bitmap.back() >> (t.cases.size() % 64), 0u);
+      }
+    }
+    // Set queries against the scalar module-level implementations.
+    ScopedKernelMode scalar(KernelMode::kScalar);
+    EXPECT_EQ(kernel.covers_all(set), covers_all(set, t));
+    const auto unc = kernel.uncovered(set);
+    EXPECT_EQ(unc, uncovered_cases(set, t));
+    EXPECT_EQ(kernel.uncovered_count(set), unc.size());
+  }
+}
+
+TEST(CoverKernel, SubsetKernelMatchesScalarAmong) {
+  std::mt19937_64 rng(2);
+  const DetectabilityTable t = random_table(rng, 20, 300, 3);
+  // Random subset with duplicates, in random order.
+  std::vector<std::uint32_t> rows;
+  for (int i = 0; i < 90; ++i) {
+    rows.push_back(static_cast<std::uint32_t>(rng() % t.cases.size()));
+  }
+  const CoverKernel kernel(t, rows);
+  ASSERT_EQ(kernel.num_rows(), rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(kernel.global_row(static_cast<std::uint32_t>(r)), rows[r]);
+  }
+  for (int i = 0; i < 8; ++i) {
+    std::vector<ParityFunc> set = {random_beta(rng, 20), random_beta(rng, 20)};
+    std::vector<std::uint32_t> got;
+    for (const std::uint32_t local : kernel.uncovered(set)) {
+      got.push_back(rows[local]);
+    }
+    ScopedKernelMode scalar(KernelMode::kScalar);
+    EXPECT_EQ(got, uncovered_among(set, t, rows));
+  }
+}
+
+TEST(BetaCursor, FlipMatchesFreshEvaluation) {
+  std::mt19937_64 rng(3);
+  for (const Shape& s : kShapes) {
+    const DetectabilityTable t = random_table(rng, s.n, s.m, s.max_len);
+    const CoverKernel kernel(t);
+    BetaCursor cur(kernel, 0);
+    ParityFunc beta = 0;
+    for (int step = 0; step < 200; ++step) {
+      const int j = static_cast<int>(rng() % static_cast<unsigned>(s.n));
+      cur.flip(j);
+      beta ^= std::uint64_t{1} << j;
+      ASSERT_EQ(cur.beta(), beta);
+      ASSERT_EQ(cur.covered_count(), scalar_count(beta, t))
+          << "n=" << s.n << " after flip " << step;
+    }
+  }
+}
+
+TEST(Condense, RemovedRowsAreDominatedByKeptRows) {
+  std::mt19937_64 rng(4);
+  // Low-entropy words so subset relations actually occur.
+  const DetectabilityTable t = random_table(rng, 3, 400, kMaxLatency);
+  const CondensedTable cond = condense_table(t);
+  ASSERT_EQ(cond.kept_rows.size(), cond.table.cases.size());
+  ASSERT_EQ(cond.removed + cond.table.cases.size(), t.cases.size());
+  EXPECT_GT(cond.removed, 0u);  // with 7 possible words, dominance is certain
+
+  // Back-map is consistent.
+  for (std::size_t i = 0; i < cond.kept_rows.size(); ++i) {
+    EXPECT_EQ(cond.table.cases[i], t.cases[cond.kept_rows[i]]);
+  }
+  // Every removed row strictly contains some kept row's word set.
+  std::set<std::uint32_t> kept(cond.kept_rows.begin(), cond.kept_rows.end());
+  auto words_of = [](const ErroneousCase& ec) {
+    return std::set<std::uint64_t>(ec.diff.begin(), ec.diff.begin() + ec.length);
+  };
+  for (std::uint32_t r = 0; r < t.cases.size(); ++r) {
+    if (kept.count(r)) continue;
+    const auto big = words_of(t.cases[r]);
+    bool dominated = false;
+    for (const ErroneousCase& kc : cond.table.cases) {
+      const auto small = words_of(kc);
+      if (small.size() < big.size() &&
+          std::includes(big.begin(), big.end(), small.begin(), small.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << "removed row " << r << " has no kept subset row";
+  }
+}
+
+TEST(Condense, CondensedCoverCoversFullTable) {
+  std::mt19937_64 rng(5);
+  for (const int n : {3, 5, 16}) {
+    const DetectabilityTable t = random_table(rng, n, 500, kMaxLatency);
+    const CondensedTable cond = condense_table(t);
+    const auto sol = greedy_cover(cond.table);
+    EXPECT_TRUE(covers_all(sol, cond.table));
+    EXPECT_TRUE(covers_all(sol, t))
+        << "n=" << n << ": condensed cover missed a full-table row";
+  }
+}
+
+TEST(Condense, FinalQUnchangedOnBenchdata) {
+  for (const char* name : {"s27", "tav", "donfile"}) {
+    const DetectabilityTable t = suite_table(name, 2);
+    int q[2];
+    for (const bool condense : {false, true}) {
+      PipelineOptions opts;
+      opts.threads = 1;
+      opts.condense = condense;
+      Algorithm1Stats stats;
+      ResilienceReport resilience;
+      const auto sol = select_parities_resilient(t, opts, Deadline{}, &stats,
+                                                 {}, resilience);
+      EXPECT_TRUE(covers_all(sol, t));
+      q[condense ? 1 : 0] = static_cast<int>(sol.size());
+    }
+    EXPECT_EQ(q[0], q[1]) << name << ": condensation changed the final q";
+  }
+}
+
+TEST(KernelScalar, PruneRedundantIdentical) {
+  std::mt19937_64 rng(6);
+  const DetectabilityTable t = random_table(rng, 14, 600, 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Deliberately redundant set: a full cover plus duplicates and extras.
+    std::vector<ParityFunc> betas = greedy_cover(t);
+    betas.push_back(betas.front());
+    for (int i = 0; i < 4; ++i) betas.push_back(random_beta(rng, 14));
+    std::shuffle(betas.begin(), betas.end(), rng);
+    if (!covers_all(betas, t)) continue;
+
+    std::vector<ParityFunc> pruned_bits, pruned_scalar;
+    {
+      ScopedKernelMode mode(KernelMode::kBitsliced);
+      pruned_bits = prune_redundant(betas, t);
+    }
+    {
+      ScopedKernelMode mode(KernelMode::kScalar);
+      pruned_scalar = prune_redundant(betas, t);
+    }
+    EXPECT_EQ(pruned_bits, pruned_scalar);
+    EXPECT_TRUE(covers_all(pruned_bits, t));
+  }
+}
+
+TEST(KernelScalar, GreedyIdentical) {
+  std::mt19937_64 rng(7);
+  for (const Shape& s : kShapes) {
+    const DetectabilityTable t = random_table(rng, s.n, s.m, s.max_len);
+    std::vector<ParityFunc> bits, scalar;
+    {
+      ScopedKernelMode mode(KernelMode::kBitsliced);
+      bits = greedy_cover(t);
+    }
+    {
+      ScopedKernelMode mode(KernelMode::kScalar);
+      scalar = greedy_cover(t);
+    }
+    EXPECT_EQ(bits, scalar) << "n=" << s.n << " m=" << s.m;
+    EXPECT_TRUE(covers_all(bits, t));
+  }
+}
+
+TEST(KernelScalar, ExactIdentical) {
+  std::mt19937_64 rng(8);
+  for (int trial = 0; trial < 4; ++trial) {
+    const DetectabilityTable t = random_table(rng, 6, 40, 2);
+    std::optional<std::vector<ParityFunc>> bits, scalar;
+    {
+      ScopedKernelMode mode(KernelMode::kBitsliced);
+      bits = exact_min_cover(t);
+    }
+    {
+      ScopedKernelMode mode(KernelMode::kScalar);
+      scalar = exact_min_cover(t);
+    }
+    ASSERT_EQ(bits.has_value(), scalar.has_value());
+    if (bits) {
+      EXPECT_EQ(*bits, *scalar);
+    }
+  }
+}
+
+TEST(KernelScalar, Algorithm1Identical) {
+  std::mt19937_64 rng(9);
+  const DetectabilityTable t = random_table(rng, 18, 2000, 3);
+  Algorithm1Options opts;
+  opts.threads = 1;
+  std::vector<ParityFunc> bits, scalar;
+  {
+    ScopedKernelMode mode(KernelMode::kBitsliced);
+    bits = minimize_parity_functions(t, opts);
+  }
+  {
+    ScopedKernelMode mode(KernelMode::kScalar);
+    scalar = minimize_parity_functions(t, opts);
+  }
+  EXPECT_EQ(bits, scalar);
+  EXPECT_TRUE(covers_all(bits, t));
+}
+
+TEST(Determinism, IdenticalAcrossThreadCounts) {
+  std::mt19937_64 rng(10);
+  const DetectabilityTable t = random_table(rng, 18, 3000, 3);
+  std::vector<ParityFunc> per_env[2];
+  const char* counts[2] = {"1", "4"};
+  for (int i = 0; i < 2; ++i) {
+    setenv("CED_THREADS", counts[i], 1);
+    Algorithm1Options opts;
+    opts.threads = 0;  // resolve from CED_THREADS
+    per_env[i] = minimize_parity_functions(t, opts);
+  }
+  unsetenv("CED_THREADS");
+  EXPECT_EQ(per_env[0], per_env[1]);
+  EXPECT_TRUE(covers_all(per_env[0], t));
+}
+
+}  // namespace
+}  // namespace ced::core

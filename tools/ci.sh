@@ -25,6 +25,11 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs"
 
+echo "== solver kernel: bit-sliced vs scalar q-equality =="
+# The cover kernel must be a pure speedup: the bit-sliced and scalar paths
+# have to select identical parities on the small suite (exit 1 otherwise).
+./build/bench/bench_perf --smoke
+
 echo "== sanitizers: ASan + UBSan =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$jobs"
