@@ -15,6 +15,7 @@
 #include "core/convolutional.hpp"
 #include "core/extract.hpp"
 #include "core/rng.hpp"
+#include "core/run.hpp"
 #include "core/verify.hpp"
 #include "sim/faults.hpp"
 
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
     const fsm::Fsm f = benchdata::suite_fsm(name);
     core::PipelineOptions popts;
     const std::vector<int> ps{1, 2, 3};
-    const auto reps = core::run_latency_sweep(f, ps, popts);
+    const auto reps = ced::run_latency_sweep(f, ps, RunConfig::wrap(popts));
 
     const fsm::FsmCircuit circuit =
         fsm::synthesize_fsm(f, popts.encoding, popts.synth);

@@ -15,6 +15,7 @@
 
 #include "common.hpp"
 #include "core/latency.hpp"
+#include "core/run.hpp"
 #include "sim/faults.hpp"
 
 int main(int argc, char** argv) {
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     const fsm::Fsm f = benchdata::suite_fsm(name);
     core::PipelineOptions opts;
     opts.extract.semantics = core::DiffSemantics::kMachineLevel;
-    const auto reps = core::run_latency_sweep(f, ps, opts);
+    const auto reps = ced::run_latency_sweep(f, ps, RunConfig::wrap(opts));
 
     const fsm::FsmCircuit circuit =
         fsm::synthesize_fsm(f, opts.encoding, opts.synth);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/run.hpp"
 #include "core/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -39,11 +40,12 @@ int main(int argc, char** argv) {
 
     core::PipelineOptions ml;
     ml.extract.semantics = core::DiffSemantics::kMachineLevel;
-    const auto ml_reps = core::run_latency_sweep(f, ps, ml);
+    const auto ml_reps = ced::run_latency_sweep(f, ps, RunConfig::wrap(ml));
 
     core::PipelineOptions impl;
     impl.extract.semantics = core::DiffSemantics::kImplementable;
-    const auto impl_reps = core::run_latency_sweep(f, ps, impl);
+    const auto impl_reps =
+        ced::run_latency_sweep(f, ps, RunConfig::wrap(impl));
 
     // Sequential verification of the p=2 covers against the real checker.
     const fsm::FsmCircuit circuit =

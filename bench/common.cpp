@@ -1,11 +1,12 @@
 #include "common.hpp"
 
-#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 
 #include "common/parallel.hpp"
+#include "core/run.hpp"
+#include "obs/json.hpp"
 #include "storage/store.hpp"
 
 namespace ced::bench {
@@ -58,38 +59,9 @@ std::string store_from_args(int argc, char** argv) {
   return {};
 }
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(std::string_view s) { return obs::json_escape(s); }
 
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6f", v);
-  return buf;
-}
+std::string json_number(double v) { return obs::json_number(v); }
 
 std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
                                                 const std::vector<int>& ps,
@@ -110,7 +82,7 @@ std::vector<core::PipelineReport> sweep_circuit(const std::string& name,
   std::vector<core::PipelineReport> reps;
   try {
     const fsm::Fsm f = benchdata::suite_fsm(name);
-    reps = core::run_latency_sweep(f, ps, opts);
+    reps = ced::run_latency_sweep(f, ps, RunConfig::wrap(opts));
   } catch (const std::exception& e) {
     // Unknown circuit name (or any setup failure): emit classified rows so
     // the sweep's remaining circuits still run.

@@ -11,7 +11,7 @@
 
 #include "benchdata/suite.hpp"
 #include "core/latency.hpp"
-#include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "sim/faults.hpp"
 
 int main(int argc, char** argv) {
@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
 
   core::PipelineOptions opts;
   const std::vector<int> latencies{1, 2, 3, 4};
-  const auto reports = core::run_latency_sweep(machine, latencies, opts);
+  const auto reports =
+      ced::run_latency_sweep(machine, latencies, RunConfig::wrap(opts));
 
   // Loop analysis: the latency beyond which no further benefit is possible.
   const fsm::FsmCircuit circuit =

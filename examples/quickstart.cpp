@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "benchdata/handwritten.hpp"
-#include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "core/verify.hpp"
 #include "kiss/kiss.hpp"
 
@@ -23,10 +23,12 @@ int main() {
   std::printf("FSM: %d inputs, %d states, %d outputs\n", machine.num_inputs(),
               machine.num_states(), machine.num_outputs());
 
-  // 2. Run the pipeline at latency bound p = 2.
-  core::PipelineOptions opts;
-  opts.latency = 2;
-  const core::PipelineReport rep = core::run_pipeline(machine, opts);
+  // 2. Run the pipeline at latency bound p = 2 through the validated
+  // configuration builder (build() returns Result<RunConfig>; an invalid
+  // knob is reported there instead of deep inside the run).
+  const Result<RunConfig> cfg = RunConfig::Builder().latency(2).build();
+  const core::PipelineOptions& opts = cfg->options();
+  const core::PipelineReport rep = ced::run_pipeline(machine, *cfg);
 
   std::printf("original logic : %zu gates, area %.1f\n", rep.orig_gates,
               rep.orig_area);

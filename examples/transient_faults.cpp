@@ -13,8 +13,8 @@
 #include "benchdata/suite.hpp"
 #include "core/extract.hpp"
 #include "core/parity.hpp"
-#include "core/pipeline.hpp"
 #include "core/rng.hpp"
+#include "core/run.hpp"
 #include "sim/fault_sim.hpp"
 
 using namespace ced;
@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
   // Sweep p=1,2 so the p=2 solution actually exploits the latency.
   core::PipelineOptions opts;
   const std::vector<int> ps{1, 2};
-  const auto reps = core::run_latency_sweep(machine, ps, opts);
+  const auto reps =
+      ced::run_latency_sweep(machine, ps, ced::RunConfig::wrap(opts));
   const core::PipelineReport& rep = reps[1];
   const fsm::FsmCircuit circuit =
       fsm::synthesize_fsm(machine, opts.encoding, opts.synth);

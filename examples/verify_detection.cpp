@@ -10,8 +10,8 @@
 #include <string>
 
 #include "benchdata/suite.hpp"
-#include "core/pipeline.hpp"
 #include "core/rng.hpp"
+#include "core/run.hpp"
 #include "core/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -20,9 +20,13 @@ int main(int argc, char** argv) {
   const int p = argc > 2 ? std::atoi(argv[2]) : 2;
 
   const fsm::Fsm machine = benchdata::suite_fsm(name);
-  core::PipelineOptions opts;
-  opts.latency = p;
-  const core::PipelineReport rep = core::run_pipeline(machine, opts);
+  const Result<RunConfig> cfg = RunConfig::Builder().latency(p).build();
+  if (!cfg) {
+    std::fprintf(stderr, "bad config: %s\n", cfg.status().to_text().c_str());
+    return 2;
+  }
+  const core::PipelineOptions& opts = cfg->options();
+  const core::PipelineReport rep = ced::run_pipeline(machine, *cfg);
   std::printf("%s at latency bound p=%d: %d parity trees, CED area %.1f\n",
               name.c_str(), p, rep.num_trees, rep.ced_area);
 

@@ -40,6 +40,11 @@
 // LP solver.
 #include "lp/simplex.hpp"
 
+// Observability: metrics registry, span tracer, exporters.
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 // The paper's contribution and its extensions.
 #include "core/algorithm1.hpp"
 #include "core/area_aware.hpp"
@@ -55,4 +60,6 @@
 #include "core/parity_synth.hpp"
 #include "core/pipeline.hpp"
 #include "core/resilience.hpp"
+#include "core/run.hpp"
+#include "core/solver.hpp"
 #include "core/verify.hpp"

@@ -1,0 +1,63 @@
+#pragma once
+
+// Streaming 128-bit content hash for cache keys and config fingerprints
+// (two decorrelated splitmix-style lanes; not cryptographic, just
+// collision-resistant enough for content addressing). Shared by the
+// extraction cache key (core/extract.cpp) and the run-manifest config
+// digest (core/run.cpp) so both render the same 32-hex-char shape.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ced {
+
+struct Digest128 {
+  std::uint64_t a = 0x243f6a8885a308d3ull;
+  std::uint64_t b = 0x13198a2e03707344ull;
+
+  void absorb(std::uint64_t x) {
+    a ^= x + 0x9e3779b97f4a7c15ull;
+    a = (a ^ (a >> 30)) * 0xbf58476d1ce4e5b9ull;
+    a = (a ^ (a >> 27)) * 0x94d049bb133111ebull;
+    a ^= a >> 31;
+    b += x ^ (a * 0xff51afd7ed558ccdull);
+    b = (b ^ (b >> 33)) * 0xc4ceb9fe1a85ec53ull;
+    b ^= b >> 29;
+  }
+
+  void absorb(double x) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(x));
+    __builtin_memcpy(&bits, &x, sizeof(bits));
+    absorb(bits);
+  }
+
+  void absorb(std::string_view s) {
+    absorb(static_cast<std::uint64_t>(s.size()));
+    std::uint64_t word = 0;
+    int n = 0;
+    for (const char c : s) {
+      word = (word << 8) | static_cast<unsigned char>(c);
+      if (++n == 8) {
+        absorb(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    if (n != 0) absorb(word);
+  }
+
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<std::size_t>(i)] = digits[(a >> (60 - 4 * i)) & 0xF];
+      out[static_cast<std::size_t>(16 + i)] =
+          digits[(b >> (60 - 4 * i)) & 0xF];
+    }
+    return out;
+  }
+};
+
+}  // namespace ced

@@ -207,11 +207,13 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
   std::vector<ParityFunc> best_attempt;
   std::size_t best_uncovered = table.cases.size() + 1;
 
-  // Forward the wall-clock budget into each LP solve.
+  // Forward the wall-clock budget and the observability sinks into each
+  // LP solve (the simplex records pivots and a span per solve).
   lp::SolverOptions lp_opts = opts.lp;
   if (opts.deadline.armed() && opts.deadline.time_point() < lp_opts.deadline) {
     lp_opts.deadline = opts.deadline.time_point();
   }
+  lp_opts.obs = opts.obs;
 
   for (int round = 0; round < opts.row_rounds; ++round) {
     if (opts.deadline.expired()) {
@@ -273,7 +275,19 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
       tr.ran = true;
       executed.fetch_add(1, std::memory_order_relaxed);
     });
-    if (stats) stats->roundings += executed.load(std::memory_order_relaxed);
+    if (stats) {
+      const auto ran =
+          static_cast<std::uint64_t>(executed.load(std::memory_order_relaxed));
+      stats->roundings += static_cast<int>(ran);
+      // Screening-cost accounting at trial-batch granularity (outside the
+      // decision path; the search never reads these).
+      const std::uint64_t evals = ran * screen.size();
+      if (screen_kernel) {
+        stats->kernel_case_evals += evals;
+      } else {
+        stats->scalar_case_evals += evals;
+      }
+    }
     bool trials_skipped = false;
     for (Trial& tr : trials) {
       if (!tr.ran) {
@@ -409,16 +423,31 @@ void drop_and_repair(std::vector<ParityFunc>& best,
 
 std::vector<ParityFunc> minimize_parity_functions(
     const DetectabilityTable& table, const Algorithm1Options& opts,
-    Algorithm1Stats* stats, std::span<const ParityFunc> warm_start) {
+    Algorithm1Stats* stats, std::span<const ParityFunc> warm_start,
+    const SolverContext* shared_ctx) {
   if (table.cases.empty()) {
     if (stats) stats->final_q = 0;
     return {};
   }
 
+  // Instrumentation always reads through a non-null stats block so the
+  // metric fold below works for callers that pass none.
+  Algorithm1Stats local_stats;
+  Algorithm1Stats* st = stats ? stats : &local_stats;
+  const Algorithm1Stats entry = *st;  // fold deltas, not lifetime totals
+
+  obs::ScopedSpan algo_span(opts.obs, "algorithm1");
+  Algorithm1Options obs_opts = opts;
+  obs_opts.obs = opts.obs.under(algo_span.id());
+
   // Everything that depends only on the table — the bit-sliced kernel and
-  // the hardness ordering — is computed once here and shared by the greedy
-  // seeding, every q probed by the binary search, and the post-pass.
-  const SolverContext ctx(table);
+  // the hardness ordering — is computed once and shared by the greedy
+  // seeding, every q probed by the binary search, and the post-pass. The
+  // cascade driver passes its own context down; standalone callers build
+  // a local one.
+  std::optional<SolverContext> local_ctx;
+  if (shared_ctx == nullptr) local_ctx.emplace(table);
+  const SolverContext& ctx = shared_ctx ? *shared_ctx : *local_ctx;
 
   // Greedy upper bound doubles as the fallback solution; it shares the
   // overall deadline so even the seeding degrades gracefully.
@@ -426,6 +455,7 @@ std::vector<ParityFunc> minimize_parity_functions(
   if (opts.deadline.armed() && !greedy_opts.deadline.armed()) {
     greedy_opts.deadline = opts.deadline;
   }
+  greedy_opts.obs = obs_opts.obs;
   GreedyStats greedy_stats;
   const std::vector<ParityFunc> greedy =
       greedy_cover(table, greedy_opts, &greedy_stats, ctx.kernel_ptr());
@@ -451,12 +481,17 @@ std::vector<ParityFunc> minimize_parity_functions(
     if (opts.deadline.expired()) {
       // Out of time: the incumbent (greedy or a prior q's solution) is a
       // verified complete cover — return it instead of searching on.
-      if (stats) stats->deadline_hit = true;
+      st->deadline_hit = true;
       break;
     }
     const int q = left + (right - left) / 2;
-    if (stats) stats->qs_tried.push_back(q);
-    auto sol = solve_for_q(table, q, opts, stats, &ctx);
+    st->qs_tried.push_back(q);
+    obs::ScopedSpan probe(obs_opts.obs, "solve-q");
+    probe.attr("q", std::to_string(q));
+    Algorithm1Options probe_opts = obs_opts;
+    probe_opts.obs = obs_opts.obs.under(probe.id());
+    auto sol = solve_for_q(table, q, probe_opts, st, &ctx);
+    probe.attr("cover", sol ? "yes" : "no");
     if (sol && sol->size() < best.size()) {
       best = std::move(*sol);
       from_greedy = false;
@@ -472,21 +507,53 @@ std::vector<ParityFunc> minimize_parity_functions(
   }
 
   if (opts.post_optimize && !opts.deadline.expired()) {
+    obs::ScopedSpan post(obs_opts.obs, "post-optimize");
     const std::size_t before = best.size();
-    drop_and_repair(best, table, opts, stats, ctx);
+    drop_and_repair(best, table, opts, st, ctx);
     if (best.size() < before) from_greedy = false;
     // The incumbent may be a warm start the local search cannot shrink;
     // give the independent greedy solution the same chance when it ties.
     if (!from_greedy && greedy.size() <= best.size()) {
       std::vector<ParityFunc> alt = greedy;
-      drop_and_repair(alt, table, opts, stats, ctx);
+      drop_and_repair(alt, table, opts, st, ctx);
       if (alt.size() < best.size()) best = std::move(alt);
     }
   }
 
-  if (stats) {
-    stats->final_q = static_cast<int>(best.size());
-    stats->greedy_fallback = from_greedy;
+  st->final_q = static_cast<int>(best.size());
+  st->greedy_fallback = from_greedy;
+
+  // Fold the search's metrics (deltas over this call, so a reused stats
+  // block never double-counts) and annotate the span with the binary-search
+  // trajectory. All write-only: nothing above ever read a sink.
+  if (obs::MetricsRegistry* m = opts.obs.metrics) {
+    obs::MetricsShard shard(m);
+    shard.add("ced_solve_lp_solves_total",
+              static_cast<std::uint64_t>(st->lp_solves - entry.lp_solves));
+    shard.add("ced_solve_lp_pivots_total",
+              static_cast<std::uint64_t>(st->lp_iterations -
+                                         entry.lp_iterations));
+    shard.add("ced_solve_roundings_total",
+              static_cast<std::uint64_t>(st->roundings - entry.roundings));
+    shard.add("ced_solve_repairs_total",
+              static_cast<std::uint64_t>(st->repairs - entry.repairs));
+    shard.add("ced_solve_kernel_case_evals_total",
+              st->kernel_case_evals - entry.kernel_case_evals);
+    shard.add("ced_solve_scalar_case_evals_total",
+              st->scalar_case_evals - entry.scalar_case_evals);
+    shard.add("ced_solve_q_probes_total",
+              static_cast<std::uint64_t>(st->qs_tried.size() -
+                                         entry.qs_tried.size()));
+  }
+  if (opts.obs.tracer != nullptr) {
+    std::string qs;
+    for (std::size_t i = entry.qs_tried.size(); i < st->qs_tried.size(); ++i) {
+      if (!qs.empty()) qs += ",";
+      qs += std::to_string(st->qs_tried[i]);
+    }
+    algo_span.attr("qs_tried", qs);
+    algo_span.attr("final_q", std::to_string(st->final_q));
+    algo_span.attr("greedy_fallback", from_greedy ? "yes" : "no");
   }
   return best;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "core/greedy.hpp"
 #include "core/ilp.hpp"
 #include "core/parity.hpp"
+#include "obs/trace.hpp"
 
 namespace ced::core {
 
@@ -50,6 +52,10 @@ struct Algorithm1Options {
   /// LP solver and the greedy seeding). On expiry the binary search stops
   /// and the best incumbent so far is returned — never nothing.
   Deadline deadline;
+  /// Observability sinks (spans for the binary search and LP solves,
+  /// counters for trials/repairs/pivots). Purely write-only diagnostics:
+  /// the selected parities are byte-identical with sinks set or null.
+  obs::Sinks obs;
 };
 
 struct Algorithm1Stats {
@@ -76,13 +82,26 @@ struct Algorithm1Stats {
   /// table size when nothing was dominated.
   std::size_t condensed_cases = 0;
   std::vector<int> qs_tried;
+  /// Screening-check row evaluations performed through the bit-sliced
+  /// kernel vs the scalar path (trial-batch granularity: executed trials x
+  /// sample rows). Diagnostics only — never consulted by the search.
+  std::uint64_t kernel_case_evals = 0;
+  std::uint64_t scalar_case_evals = 0;
 };
+
+struct ResilienceReport;
 
 /// Per-table precomputation shared by every q probed by the binary search
 /// and by the post-optimization pass: the bit-sliced cover kernel plus the
 /// hardness ordering of the rows (both depend only on the table, so they
-/// are built once in minimize_parity_functions instead of per solve_for_q
-/// call). Standalone solve_for_q callers get a local one automatically.
+/// are built once per cascade instead of per solve_for_q call). Standalone
+/// solve_for_q callers get a local one automatically.
+///
+/// Since the Solver-interface redesign this struct also carries the
+/// run-scoped state the cascade threads through every level (solver.hpp):
+/// the shared deadline, the stats/resilience outputs, the warm start, and
+/// the observability sinks. The constructor leaves all of it defaulted;
+/// only the cascade driver (pipeline.cpp) fills it in.
 struct SolverContext {
   explicit SolverContext(const DetectabilityTable& table);
 
@@ -96,6 +115,22 @@ struct SolverContext {
   std::vector<std::uint32_t> hard_order;
 
   const CoverKernel* kernel_ptr() const { return kernel ? &*kernel : nullptr; }
+
+  // ---- run-scoped state (filled by the cascade driver, defaulted
+  // ---- otherwise; solvers read these instead of taking five parameters).
+  /// Shared wall-clock budget for the whole selection run.
+  Deadline deadline;
+  /// Optional diagnostics output (never read back by the solvers).
+  Algorithm1Stats* stats = nullptr;
+  /// Optional degradation audit trail for non-fatal events.
+  ResilienceReport* resilience = nullptr;
+  /// Optional incumbent seed (see minimize_parity_functions).
+  std::span<const ParityFunc> warm_start;
+  /// Observability sinks; parent_span scopes the per-level spans.
+  obs::Sinks obs;
+  /// When the cascade started (fallback events report seconds into it).
+  std::chrono::steady_clock::time_point cascade_start =
+      std::chrono::steady_clock::now();
 };
 
 /// Tries to find q parity functions covering every case of the table:
@@ -114,9 +149,14 @@ std::optional<std::vector<ParityFunc>> solve_for_q(
 /// `warm_start` optionally seeds the incumbent: if it covers the table and
 /// is smaller than the greedy solution it becomes the starting upper bound
 /// (used by latency sweeps, where a p-cover always covers p+1's table).
+/// `shared_ctx` (optional) reuses a caller-built kernel + hardness
+/// precomputation for this same table (the cascade driver builds one
+/// context for all levels); run-scoped fields of the context are ignored
+/// here — the explicit parameters win.
 std::vector<ParityFunc> minimize_parity_functions(
     const DetectabilityTable& table, const Algorithm1Options& opts = {},
     Algorithm1Stats* stats = nullptr,
-    std::span<const ParityFunc> warm_start = {});
+    std::span<const ParityFunc> warm_start = {},
+    const SolverContext* shared_ctx = nullptr);
 
 }  // namespace ced::core

@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/digest.hpp"
 #include "common/parallel.hpp"
 
 namespace ced::core {
@@ -436,9 +437,22 @@ std::vector<DetectabilityTable> extract_cases_multi(
       static_cast<std::size_t>(num_shards));
   const auto bounds = shard_bounds(faults.size(), num_shards);
   parallel_for(num_shards, workers.size(), [&](std::size_t s) {
+    // Worker spans parent under the caller's extract-stage span via the
+    // explicit parent id — no thread-local ambient state (obs/trace.hpp).
+    obs::ScopedSpan span(opts.obs, "extract-shard");
+    span.attr("shard", static_cast<std::uint64_t>(s));
+    span.attr("faults",
+              static_cast<std::uint64_t>(bounds[s + 1] - bounds[s]));
     auto worker = std::make_unique<ShardWorker>(
         circuit, opts, golden, activation_codes, valves, num_shards);
     worker->run(faults.subspan(bounds[s], bounds[s + 1] - bounds[s]));
+    const DetectabilityTable& deep = worker->tables().back();
+    span.attr("activations", static_cast<std::uint64_t>(deep.num_activations));
+    span.attr("paths", static_cast<std::uint64_t>(deep.num_paths));
+    if (opts.obs.metrics != nullptr) {
+      obs::MetricsShard mshard(opts.obs.metrics);
+      mshard.add("ced_extract_shards_total");
+    }
     workers[s] = std::move(worker);
   });
 
@@ -530,35 +544,6 @@ bool shard_truncated(const ExtractShard& sh) {
   return false;
 }
 
-/// Streaming 128-bit content hash for cache keys (two decorrelated
-/// splitmix-style lanes; not cryptographic, just collision-resistant enough
-/// for content addressing).
-struct Digest128 {
-  std::uint64_t a = 0x243f6a8885a308d3ull;
-  std::uint64_t b = 0x13198a2e03707344ull;
-
-  void absorb(std::uint64_t x) {
-    a ^= x + 0x9e3779b97f4a7c15ull;
-    a = (a ^ (a >> 30)) * 0xbf58476d1ce4e5b9ull;
-    a = (a ^ (a >> 27)) * 0x94d049bb133111ebull;
-    a ^= a >> 31;
-    b += x ^ (a * 0xff51afd7ed558ccdull);
-    b = (b ^ (b >> 33)) * 0xc4ceb9fe1a85ec53ull;
-    b ^= b >> 29;
-  }
-
-  std::string hex() const {
-    static const char* digits = "0123456789abcdef";
-    std::string out(32, '0');
-    for (int i = 0; i < 16; ++i) {
-      out[static_cast<std::size_t>(i)] = digits[(a >> (60 - 4 * i)) & 0xF];
-      out[static_cast<std::size_t>(16 + i)] =
-          digits[(b >> (60 - 4 * i)) & 0xF];
-    }
-    return out;
-  }
-};
-
 }  // namespace
 
 int resolve_checkpoint_shards(int requested, std::size_t num_faults) {
@@ -572,7 +557,7 @@ std::string extraction_digest(const fsm::FsmCircuit& circuit,
                               std::span<const sim::StuckAtFault> faults,
                               const ExtractOptions& opts, int num_shards) {
   Digest128 d;
-  d.absorb(1);  // digest schema version; bump on any semantic change
+  d.absorb(std::uint64_t{1});  // digest schema version; bump on change
   d.absorb(static_cast<std::uint64_t>(kMaxLatency));
   // Circuit: interface sizes, state encoding, and the full netlist — the
   // netlist is the reference implementation, so hashing it covers every
@@ -589,10 +574,14 @@ std::string extraction_digest(const fsm::FsmCircuit& circuit,
     const logic::Gate& gate = net.gate(g);
     d.absorb(static_cast<std::uint64_t>(gate.type));
     d.absorb(gate.fanins.size());
-    for (const std::uint32_t f : gate.fanins) d.absorb(f);
+    for (const std::uint32_t f : gate.fanins) {
+      d.absorb(static_cast<std::uint64_t>(f));
+    }
   }
   d.absorb(net.num_outputs());
-  for (const std::uint32_t o : net.outputs()) d.absorb(o);
+  for (const std::uint32_t o : net.outputs()) {
+    d.absorb(static_cast<std::uint64_t>(o));
+  }
   // Fault model.
   d.absorb(faults.size());
   for (const auto& f : faults) {
@@ -603,7 +592,7 @@ std::string extraction_digest(const fsm::FsmCircuit& circuit,
   // (deadline, max_cases) are excluded: truncated results are never cached.
   d.absorb(static_cast<std::uint64_t>(opts.latency));
   d.absorb(static_cast<std::uint64_t>(opts.semantics));
-  d.absorb(opts.restrict_to_reachable ? 1 : 0);
+  d.absorb(std::uint64_t{opts.restrict_to_reachable ? 1u : 0u});
   d.absorb(opts.degrade_threshold);
   d.absorb(static_cast<std::uint64_t>(num_shards));
   return d.hex();
@@ -641,6 +630,12 @@ std::vector<DetectabilityTable> extract_cases_sharded(
       missing.push_back(s);
     }
   }
+  if (opts.obs.metrics != nullptr) {
+    opts.obs.metrics->add(
+        "ced_extract_shards_resumed_total",
+        static_cast<std::uint64_t>(static_cast<std::size_t>(num_shards) -
+                                   missing.size()));
+  }
 
   // Phase 2: compute (up to the quota) the missing shards, in index order.
   // Each shard runs with PRIVATE valves, so its content is a pure function
@@ -666,12 +661,20 @@ std::vector<DetectabilityTable> extract_cases_sharded(
 
     parallel_for(resolve_threads(opts.threads), allowed, [&](std::size_t i) {
       const std::uint32_t s = missing[i];
+      obs::ScopedSpan span(opts.obs, "extract-shard");
+      span.attr("shard", static_cast<std::uint64_t>(s));
       SharedValves valves(num_tables);
       ShardWorker worker(circuit, opts, golden, activation_codes, valves,
                          num_shards);
       const std::size_t begin = bounds[s];
       const std::size_t end = bounds[s + 1];
+      span.attr("faults", static_cast<std::uint64_t>(end - begin));
       worker.run(faults.subspan(begin, end - begin));
+      if (opts.obs.metrics != nullptr) {
+        obs::MetricsShard mshard(opts.obs.metrics);
+        mshard.add("ced_extract_shards_total");
+        mshard.add("ced_extract_shards_computed_total");
+      }
       ExtractShard sh =
           shard_from_worker(worker, valves, s,
                             static_cast<std::uint32_t>(num_shards),

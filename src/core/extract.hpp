@@ -10,6 +10,7 @@
 #include "core/erroneous_case.hpp"
 #include "core/resilience.hpp"
 #include "fsm/synthesize.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/faults.hpp"
 
@@ -67,6 +68,11 @@ struct ExtractOptions {
   /// on the shard partition because subtree pruning only sees a worker's
   /// own cases.
   int threads = 0;
+  /// Observability sinks: one span per extraction shard (nested under
+  /// `parent_span`, typically the pipeline's extract stage span) plus
+  /// per-shard counters. Write-only diagnostics — the extracted tables are
+  /// byte-identical with sinks set or null, at any thread count.
+  obs::Sinks obs;
 };
 
 /// The error detectability table of Fig. 2: the union of all erroneous

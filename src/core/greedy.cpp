@@ -72,7 +72,7 @@ std::pair<ParityFunc, std::size_t> climb_kernel(ParityFunc beta, int n,
 /// repeatedly appending the best hill-climbed parity function.
 void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
                   std::vector<std::uint32_t> pending, Rng& rng,
-                  std::vector<ParityFunc>& solution) {
+                  std::vector<ParityFunc>& solution, std::uint64_t& climbs) {
   const int n = table.num_bits;
   const std::uint64_t mask =
       n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
@@ -87,6 +87,7 @@ void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
     std::size_t best_cov = 0;
 
     auto consider = [&](ParityFunc start) {
+      ++climbs;
       ParityFunc b;
       std::size_t c;
       if (sub) {
@@ -140,12 +141,10 @@ void cover_subset(const DetectabilityTable& table, const GreedyOptions& opts,
   }
 }
 
-}  // namespace
-
-std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
-                                     const GreedyOptions& opts,
-                                     GreedyStats* stats,
-                                     const CoverKernel* full_kernel) {
+std::vector<ParityFunc> greedy_cover_impl(const DetectabilityTable& table,
+                                          const GreedyOptions& opts,
+                                          GreedyStats* stats,
+                                          const CoverKernel* full_kernel) {
   Rng rng(opts.seed);
   std::vector<ParityFunc> solution;
   const bool bitsliced = kernel_mode() == KernelMode::kBitsliced;
@@ -203,12 +202,44 @@ std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
         sample.push_back(pending[i]);
       }
     }
-    cover_subset(table, opts, std::move(sample), rng, solution);
+    cover_subset(table, opts, std::move(sample), rng, solution,
+                 stats->climbs);
     pending = full != nullptr ? full->uncovered(solution)
                               : uncovered_cases(solution, table);
   }
 
   return prune_redundant(solution, table, full);
+}
+
+}  // namespace
+
+std::vector<ParityFunc> greedy_cover(const DetectabilityTable& table,
+                                     const GreedyOptions& opts,
+                                     GreedyStats* stats,
+                                     const CoverKernel* full_kernel) {
+  GreedyStats local;
+  GreedyStats* st = stats != nullptr ? stats : &local;
+  if (!opts.obs.enabled()) {
+    return greedy_cover_impl(table, opts, st, full_kernel);
+  }
+  // Observability wrapper, outside the search: the chosen functions are
+  // byte-identical with sinks set or null.
+  obs::ScopedSpan span(opts.obs, "greedy");
+  auto sol = greedy_cover_impl(table, opts, st, full_kernel);
+  span.attr("functions", static_cast<std::uint64_t>(sol.size()));
+  span.attr("climbs", st->climbs);
+  if (st->deadline_hit) {
+    span.attr("single_bit_completions",
+              static_cast<std::uint64_t>(st->single_bit_completions));
+  }
+  if (opts.obs.metrics != nullptr) {
+    obs::MetricsShard shard(opts.obs.metrics);
+    shard.add("ced_greedy_covers_total");
+    shard.add("ced_greedy_climbs_total", st->climbs);
+    shard.add("ced_greedy_single_bit_completions_total",
+              static_cast<std::uint64_t>(st->single_bit_completions));
+  }
+  return sol;
 }
 
 }  // namespace ced::core

@@ -5,6 +5,7 @@
 
 #include "core/parity.hpp"
 #include "core/resilience.hpp"
+#include "obs/trace.hpp"
 
 namespace ced::core {
 
@@ -23,6 +24,10 @@ struct GreedyOptions {
   /// per needed observable bit), so the solver always terminates with a
   /// complete — if larger — cover.
   Deadline deadline;
+  /// Observability sinks (a span per greedy_cover call plus hill-climb
+  /// counters). Write-only diagnostics: the selected functions are
+  /// byte-identical with sinks set or null.
+  obs::Sinks obs;
 };
 
 /// Diagnostics for the resilience layer.
@@ -30,6 +35,8 @@ struct GreedyStats {
   bool deadline_hit = false;
   /// Parity functions appended by the single-bit close-out.
   int single_bit_completions = 0;
+  /// Hill climbs executed (one per starting point considered).
+  std::uint64_t climbs = 0;
 };
 
 class CoverKernel;

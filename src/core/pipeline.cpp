@@ -4,8 +4,9 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
-#include "core/exact.hpp"
+#include "core/solver.hpp"
 
 namespace ced::core {
 namespace {
@@ -15,22 +16,14 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-CascadeLevel level_of(SolverKind solver) {
-  switch (solver) {
-    case SolverKind::kExact: return CascadeLevel::kExact;
-    case SolverKind::kGreedy: return CascadeLevel::kGreedy;
-    case SolverKind::kLpRounding: return CascadeLevel::kLpRounding;
-  }
-  return CascadeLevel::kLpRounding;
-}
-
 PipelineReport report_for(const fsm::FsmCircuit& circuit,
                           const std::vector<sim::StuckAtFault>& faults,
                           const DetectabilityTable& table,
                           const PipelineOptions& opts,
                           const Deadline& deadline,
                           std::span<const ParityFunc> warm_start,
-                          bool warm_is_lower_latency_cover = false) {
+                          bool warm_is_lower_latency_cover,
+                          obs::StageClock& clock, const obs::Sinks& run_obs) {
   PipelineReport rep;
   rep.inputs = circuit.r();
   rep.state_bits = circuit.s();
@@ -52,8 +45,22 @@ PipelineReport report_for(const fsm::FsmCircuit& circuit,
                           table.truncation_reason, 0.0, table.cases.size());
   }
 
-  auto t0 = std::chrono::steady_clock::now();
-  rep.parities = select_parities_resilient(table, opts, deadline,
+  const std::uint64_t solve_span =
+      clock.open(run_obs.tracer, "solve", run_obs.parent_span);
+  if (run_obs.tracer != nullptr && solve_span != 0) {
+    run_obs.tracer->attr(solve_span, "latency",
+                         std::to_string(table.latency));
+  }
+  // Reparent the sinks under this report's solve span so the cascade's
+  // spans (solver:exact, algorithm1, greedy, lp-solve) nest beneath it.
+  PipelineOptions solve_opts;
+  const PipelineOptions* effective = &opts;
+  if (run_obs.enabled()) {
+    solve_opts = opts;
+    solve_opts.obs = run_obs.under(solve_span);
+    effective = &solve_opts;
+  }
+  rep.parities = select_parities_resilient(table, *effective, deadline,
                                            &rep.algo_stats, warm_start,
                                            rep.resilience);
   // A cover for a smaller latency bound is always a valid cover for this
@@ -66,15 +73,16 @@ PipelineReport report_for(const fsm::FsmCircuit& circuit,
     rep.parities.assign(warm_start.begin(), warm_start.end());
     rep.algo_stats.final_q = static_cast<int>(rep.parities.size());
   }
-  rep.t_solve = seconds_since(t0);
+  rep.t_solve = clock.close(run_obs.tracer, solve_span);
   rep.num_trees = static_cast<int>(rep.parities.size());
 
-  t0 = std::chrono::steady_clock::now();
+  const std::uint64_t ced_span =
+      clock.open(run_obs.tracer, "ced-synth", run_obs.parent_span);
   const CedHardware hw = synthesize_ced(circuit, rep.parities, opts.ced);
   const auto cost = hw.cost(opts.library);
   rep.ced_gates = cost.gates;
   rep.ced_area = cost.area;
-  rep.t_ced = seconds_since(t0);
+  rep.t_ced = clock.close(run_obs.tracer, ced_span);
 
   if (rep.resilience.status.ok() && rep.resilience.degraded()) {
     rep.resilience.status = Status::truncated(
@@ -93,8 +101,8 @@ std::vector<PipelineReport> classified_reports(std::span<const int> latencies,
   for (int p : latencies) {
     PipelineReport rep;
     rep.latency = p;
-    rep.resilience.solver_requested = level_of(opts.solver);
-    rep.resilience.solver_used = level_of(opts.solver);
+    rep.resilience.solver_requested = cascade_level_of(opts.solver);
+    rep.resilience.solver_used = cascade_level_of(opts.solver);
     rep.resilience.status = status;
     reports.push_back(std::move(rep));
   }
@@ -124,127 +132,65 @@ std::vector<ParityFunc> duplication_floor_cover(
 
 namespace {
 
-/// The degradation cascade on one (possibly condensed) table; the public
-/// wrapper below handles condensation and full-table re-verification.
+/// The degradation cascade on one (possibly condensed) table, driven by
+/// the solver_cascade() table (core/solver.hpp): start at the requested
+/// level, run each Solver until one certifies a scheme, and record every
+/// fall-through. The public wrapper below handles condensation and
+/// full-table re-verification.
 std::vector<ParityFunc> select_parities_on(
     const DetectabilityTable& table, const PipelineOptions& opts,
     const Deadline& deadline, Algorithm1Stats* stats,
     std::span<const ParityFunc> warm_start, ResilienceReport& resilience) {
   const auto t0 = std::chrono::steady_clock::now();
-  resilience.solver_requested = level_of(opts.solver);
+  resilience.solver_requested = cascade_level_of(opts.solver);
   resilience.solver_used = resilience.solver_requested;
   if (table.cases.empty()) {
     if (stats) stats->final_q = 0;
     return {};
   }
 
-  SolverKind level = opts.solver;
+  // One context for every level: the kernel and the hardness ordering
+  // depend only on the table, and the run-scoped state (deadline, outputs,
+  // warm start, sinks) no longer travels as five parallel parameters.
+  SolverContext ctx(table);
+  ctx.deadline = deadline;
+  ctx.stats = stats;
+  ctx.resilience = &resilience;
+  ctx.warm_start = warm_start;
+  ctx.obs = opts.obs;
+  ctx.cascade_start = t0;
 
-  if (level == SolverKind::kExact) {
-    ExactOptions ex = opts.exact;
-    if (opts.budget.max_exact_nodes > 0) {
-      ex.max_nodes = opts.budget.max_exact_nodes;
+  const auto cascade = solver_cascade();
+  for (std::size_t i = cascade_entry(opts.solver); i < cascade.size(); ++i) {
+    Result<ParityScheme> r = cascade[i]->solve(ctx, opts);
+    if (r) {
+      resilience.solver_used = r->level;
+      return std::move(r->parities);
     }
-    if (deadline.armed() && !ex.deadline.armed()) ex.deadline = deadline;
-    ExactOutcome outcome;
-    if (auto sol = exact_min_cover(table, ex, &outcome)) {
-      if (stats) stats->final_q = static_cast<int>(sol->size());
-      return *sol;
+    // This level could not certify an answer: record the downgrade,
+    // naming the level the cascade falls to, and keep going.
+    const Solver* next = i + 1 < cascade.size() ? cascade[i + 1] : nullptr;
+    std::string detail = r.status().message;
+    if (next != nullptr) {
+      detail += "; falling back to ";
+      detail += next->name();
     }
-    std::string why;
-    if (outcome.too_large) {
-      why = "instance exceeds exact-solver size limit";
-    } else if (outcome.deadline_hit) {
-      why = "wall-clock budget exhausted after " +
-            std::to_string(outcome.nodes) + " branch-and-bound nodes";
-    } else if (outcome.node_budget_hit) {
-      why = "branch-and-bound node budget (" +
-            std::to_string(outcome.nodes) + " nodes) exhausted";
-    } else if (outcome.uncoverable) {
-      why = "a case is uncoverable within the candidate space";
-    } else {
-      why = "exact search could not certify an optimum";
-    }
-    resilience.record(Stage::kExact,
-                      outcome.uncoverable ? StatusCode::kInfeasible
-                                          : StatusCode::kTruncated,
-                      why + "; falling back to LP+rounding",
+    resilience.record(r.status().stage, r.status().code, std::move(detail),
                       seconds_since(t0), table.cases.size());
-    resilience.solver_used = CascadeLevel::kLpRounding;
-    level = SolverKind::kLpRounding;
+    if (next != nullptr) resilience.solver_used = next->level();
   }
 
-  if (level == SolverKind::kLpRounding) {
-    if (deadline.expired()) {
-      resilience.record(Stage::kLp, StatusCode::kTruncated,
-                        "wall-clock budget exhausted before the LP stage; "
-                        "falling back to greedy",
-                        seconds_since(t0), table.cases.size());
-      resilience.solver_used = CascadeLevel::kGreedy;
-      level = SolverKind::kGreedy;
-    } else {
-      Algorithm1Options algo = opts.algo;
-      algo.threads = opts.threads;
-      if (deadline.armed() && !algo.deadline.armed()) algo.deadline = deadline;
-      if (opts.budget.max_lp_iterations > 0) {
-        algo.lp.max_iterations = opts.budget.max_lp_iterations;
-      }
-      if (opts.budget.max_rounding_attempts > 0) {
-        algo.iter = std::min(algo.iter, opts.budget.max_rounding_attempts);
-      }
-      Algorithm1Stats local;
-      Algorithm1Stats* st = stats ? stats : &local;
-      auto sol = minimize_parity_functions(table, algo, st, warm_start);
-      if (st->lp_budget_hit) {
-        resilience.record(
-            Stage::kLp, StatusCode::kTruncated,
-            "LP solve stopped on its iteration/time budget (" +
-                std::to_string(st->lp_iterations) + " pivots total)",
-            seconds_since(t0), table.cases.size());
-      }
-      if (st->deadline_hit && !st->lp_budget_hit) {
-        resilience.record(Stage::kRounding, StatusCode::kTruncated,
-                          "wall-clock budget cut the rounding search short "
-                          "after " + std::to_string(st->roundings) +
-                              " roundings",
-                          seconds_since(t0), table.cases.size());
-      }
-      // greedy_fallback under budget pressure means the answer really came
-      // from the next cascade level; without pressure it just means the
-      // greedy bound was already optimal — not a degradation.
-      if (st->greedy_fallback && (st->lp_budget_hit || st->deadline_hit)) {
-        resilience.solver_used = st->greedy_degraded
-                                     ? CascadeLevel::kDuplication
-                                     : CascadeLevel::kGreedy;
-      }
-      return sol;
-    }
-  }
-
-  // Greedy level (requested directly or reached by fallback).
-  GreedyOptions greedy = opts.algo.greedy;
-  if (deadline.armed() && !greedy.deadline.armed()) greedy.deadline = deadline;
-  GreedyStats gs;
-  auto sol = greedy_cover(table, greedy, &gs);
-  if (resilience.solver_used != CascadeLevel::kGreedy &&
-      level == SolverKind::kGreedy) {
-    resilience.solver_used = level_of(level);
-  }
-  if (gs.deadline_hit) {
-    resilience.record(Stage::kGreedy, StatusCode::kTruncated,
-                      "greedy search out of time; closed out with " +
-                          std::to_string(gs.single_bit_completions) +
-                          " single-bit functions (duplication-style floor)",
-                      seconds_since(t0), table.cases.size());
-    resilience.solver_used = CascadeLevel::kDuplication;
-  }
-  if (stats) {
-    stats->final_q = static_cast<int>(sol.size());
-    stats->greedy_fallback = true;
-    stats->deadline_hit = stats->deadline_hit || gs.deadline_hit;
-    stats->greedy_degraded = stats->greedy_degraded || gs.deadline_hit;
-  }
-  return sol;
+  // Unreachable in practice — the greedy level's single-bit close-out never
+  // fails — but keep the cascade total: the duplication floor is computable
+  // unconditionally in one pass.
+  resilience.record(Stage::kPipeline, StatusCode::kInternal,
+                    "every cascade level failed; emitting the duplication "
+                    "floor directly",
+                    seconds_since(t0), table.cases.size());
+  resilience.solver_used = CascadeLevel::kDuplication;
+  auto floor = duplication_floor_cover(table);
+  if (stats) stats->final_q = static_cast<int>(floor.size());
+  return floor;
 }
 
 }  // namespace
@@ -299,14 +245,9 @@ std::vector<ParityFunc> select_parities(const DetectabilityTable& table,
                                    warm_start, scratch);
 }
 
-PipelineReport run_pipeline(const fsm::Fsm& f, const PipelineOptions& opts) {
-  auto sweep = run_latency_sweep(f, std::vector<int>{opts.latency}, opts);
-  return sweep.front();
-}
-
-std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
-                                              std::span<const int> latencies,
-                                              const PipelineOptions& opts) {
+std::vector<PipelineReport> run_latency_sweep_impl(
+    const fsm::Fsm& f, std::span<const int> latencies,
+    const PipelineOptions& opts) {
   if (latencies.empty()) return {};
   const Deadline deadline = Deadline::from(opts.budget);
   for (int p : latencies) {
@@ -321,10 +262,19 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
   }
 
   try {
-    auto t0 = std::chrono::steady_clock::now();
+    obs::ScopedSpan run_span(opts.obs, "pipeline");
+    run_span.attr("latencies", static_cast<std::uint64_t>(latencies.size()));
+    const obs::Sinks run_obs = opts.obs.under(run_span.id());
+
+    // Every stage boundary below is ONE clock sample shared by the closing
+    // and the opening stage (obs::StageClock), so the per-report stage
+    // times telescope exactly to the run total.
+    obs::StageClock clock;
+    const std::uint64_t synth_span =
+        clock.open(run_obs.tracer, "synth", run_obs.parent_span);
     const fsm::FsmCircuit circuit = fsm::synthesize_fsm(f, opts.encoding,
                                                         opts.synth);
-    const double t_synth = seconds_since(t0);
+    const double t_synth = clock.close(run_obs.tracer, synth_span);
     if (circuit.n() > 64) {
       return classified_reports(
           latencies, opts,
@@ -332,6 +282,11 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
                                 "more than 64 observable bits"));
     }
 
+    // The extract stage covers fault enumeration too: it is part of
+    // producing the detectability tables, and folding it in keeps the
+    // stage laps gap-free.
+    const std::uint64_t extract_span =
+        clock.open(run_obs.tracer, "extract", run_obs.parent_span);
     const std::vector<sim::StuckAtFault> faults =
         sim::enumerate_stuck_at(circuit.netlist, opts.faults);
 
@@ -340,29 +295,31 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
     ex.latency = p_max;
     ex.deadline = deadline;
     ex.threads = opts.threads;
+    if (run_obs.enabled()) ex.obs = run_obs.under(extract_span);
     if (opts.budget.max_cases > 0) ex.max_cases = opts.budget.max_cases;
-    t0 = std::chrono::steady_clock::now();
     std::vector<DetectabilityTable> tables;
     std::vector<std::string> store_events;
+    std::string extraction_key;
+    bool archive_hit = false;
     if (opts.archive != nullptr) {
       // Content-addressed cache: the key pins circuit, fault list, the
       // result-shaping extraction options and the shard partition, so a hit
       // is byte-identical to what extraction would have produced.
       const int num_shards =
           resolve_checkpoint_shards(opts.checkpoint_shards, faults.size());
-      const std::string key =
-          extraction_digest(circuit, faults, ex, num_shards);
-      tables = opts.archive->load_tables(key);
+      extraction_key = extraction_digest(circuit, faults, ex, num_shards);
+      tables = opts.archive->load_tables(extraction_key);
       const bool shape_ok =
           tables.size() == static_cast<std::size_t>(p_max) &&
           tables.front().num_bits == circuit.n() &&
           tables.front().num_faults == faults.size();
       if (!tables.empty() && !shape_ok) {
         store_events.push_back(
-            "stored table bundle has the wrong shape for key " + key +
-            "; ignoring it and re-extracting");
+            "stored table bundle has the wrong shape for key " +
+            extraction_key + "; ignoring it and re-extracting");
         tables.clear();
       }
+      archive_hit = !tables.empty();
       if (tables.empty()) {
         ShardedExtractOptions sharding;
         sharding.num_shards = num_shards;
@@ -371,19 +328,19 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
         if (opts.resume) {
           hooks.load = [&](std::uint32_t s, std::uint32_t n,
                            ExtractShard& out) {
-            return opts.archive->load_shard(key, s, n, out);
+            return opts.archive->load_shard(extraction_key, s, n, out);
           };
         }
         hooks.save = [&](const ExtractShard& s) {
-          opts.archive->store_shard(key, s);
+          opts.archive->store_shard(extraction_key, s);
         };
         tables = extract_cases_sharded(circuit, faults, ex, sharding, hooks);
         const bool complete = std::none_of(
             tables.begin(), tables.end(),
             [](const DetectabilityTable& t) { return t.truncated; });
         if (complete) {
-          opts.archive->store_tables(key, tables);
-          opts.archive->drop_shards(key);
+          opts.archive->store_tables(extraction_key, tables);
+          opts.archive->drop_shards(extraction_key);
         }
       }
       for (auto& e : opts.archive->drain_events()) {
@@ -392,7 +349,31 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
     } else {
       tables = extract_cases_multi(circuit, faults, ex);
     }
-    const double t_extract = seconds_since(t0);
+    const double t_extract = clock.close(run_obs.tracer, extract_span);
+    if (run_obs.metrics != nullptr && !tables.empty()) {
+      // Stage-level extraction metrics (write-only; the deepest table is
+      // the superset every smaller latency is a prefix of).
+      const DetectabilityTable& deep = tables.back();
+      obs::MetricsShard shard(run_obs.metrics);
+      shard.add("ced_extract_cases_total",
+                static_cast<std::uint64_t>(deep.cases.size()));
+      shard.add("ced_extract_activations_total", deep.num_activations);
+      shard.add("ced_extract_paths_total", deep.num_paths);
+      shard.add("ced_extract_faults_total",
+                static_cast<std::uint64_t>(faults.size()));
+      if (opts.archive != nullptr) {
+        shard.add(archive_hit ? "ced_store_table_hits_total"
+                              : "ced_store_table_misses_total");
+      }
+      shard.add("ced_store_events_total",
+                static_cast<std::uint64_t>(store_events.size()));
+      shard.flush();
+      if (t_extract > 0.0) {
+        run_obs.metrics->set_gauge(
+            "ced_extract_cases_per_second",
+            static_cast<double>(deep.cases.size()) / t_extract);
+      }
+    }
     const bool any_truncated =
         std::any_of(tables.begin(), tables.end(),
                     [](const DetectabilityTable& t) { return t.truncated; });
@@ -409,10 +390,12 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
       // the sweep to be complete (truncated tables lose the containment
       // argument between latencies).
       const bool ascending = warm.empty() || p >= reports.back().latency;
-      PipelineReport rep = report_for(circuit, faults, table, opts, deadline,
-                                      warm, ascending && !any_truncated);
+      PipelineReport rep =
+          report_for(circuit, faults, table, opts, deadline, warm,
+                     ascending && !any_truncated, clock, run_obs);
       rep.t_synth = t_synth;
       rep.t_extract = t_extract;
+      rep.extraction_key = extraction_key;
       rep.resilience.store_events = store_events;
       warm = rep.parities;
       reports.push_back(std::move(rep));
@@ -425,6 +408,21 @@ std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
     return classified_reports(latencies, opts,
                               Status::internal(Stage::kPipeline, e.what()));
   }
+}
+
+// Deprecated shims (declared [[deprecated]] in pipeline.hpp): one
+// transition period for callers that still assemble PipelineOptions by
+// hand. New code validates through ced::RunConfig (core/run.hpp).
+
+PipelineReport run_pipeline(const fsm::Fsm& f, const PipelineOptions& opts) {
+  auto sweep = run_latency_sweep_impl(f, std::vector<int>{opts.latency}, opts);
+  return sweep.front();
+}
+
+std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
+                                              std::span<const int> latencies,
+                                              const PipelineOptions& opts) {
+  return run_latency_sweep_impl(f, latencies, opts);
 }
 
 }  // namespace ced::core

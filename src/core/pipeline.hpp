@@ -73,6 +73,13 @@ struct PipelineOptions {
   /// (0 = no limit): the controllable analogue of a budget trip, used by
   /// resume tests and `--max-new-shards`. Ignored without `archive`.
   int max_new_shards = 0;
+
+  /// Observability sinks for the whole run (obs/trace.hpp): a span per
+  /// stage and per cascade level, counters/histograms for the hot loops.
+  /// Strictly write-only — q, the parities and the CED hardware are
+  /// byte-identical with sinks set or all-null, at any thread count.
+  /// Excluded from RunConfig::digest() for the same reason.
+  obs::Sinks obs;
 };
 
 /// Everything the paper's Table 1 reports for one circuit at one latency,
@@ -100,19 +107,38 @@ struct PipelineReport {
   /// overall status classification for this report.
   ResilienceReport resilience;
 
-  // Wall-clock seconds per stage.
+  /// Content-addressed extraction cache key (extraction_digest) when the
+  /// run had an artifact archive; empty otherwise. Diagnostic only (names
+  /// the run-manifest artifact); not persisted by encode_report.
+  std::string extraction_key;
+
+  // Wall-clock seconds per stage, measured on shared boundaries (one clock
+  // sample ends a stage and starts the next — obs::StageClock), so
+  // t_synth + t_extract + t_solve + t_ced telescopes to the exact span
+  // from run start to the last stage boundary.
   double t_synth = 0, t_extract = 0, t_solve = 0, t_ced = 0;
 };
+
+/// The engine behind ced::run_pipeline / ced::run_latency_sweep
+/// (core/run.hpp): synthesizes once, extracts the table once at
+/// max(latencies), and derives each smaller-latency table by truncation
+/// (provably identical to direct extraction). Returns one report per
+/// requested latency, in order. Not part of the public surface — callers
+/// go through ced::RunConfig.
+std::vector<PipelineReport> run_latency_sweep_impl(
+    const fsm::Fsm& f, std::span<const int> latencies,
+    const PipelineOptions& opts);
 
 /// Runs the full flow on one FSM: encode + synthesize, enumerate stuck-at
 /// faults, build the detectability table at `opts.latency`, minimize the
 /// parity functions, synthesize the Fig. 3 hardware, and measure costs.
+[[deprecated("use ced::run_pipeline(f, RunConfig) — see core/run.hpp; "
+             "RunConfig::wrap(opts) adopts an existing option block")]]
 PipelineReport run_pipeline(const fsm::Fsm& f, const PipelineOptions& opts);
 
-/// Shared-extraction sweep: synthesizes once, extracts the table once at
-/// max(latencies), and derives each smaller-latency table by truncation
-/// (provably identical to direct extraction). Returns one report per
-/// requested latency, in order.
+/// Shared-extraction sweep over several latency bounds.
+[[deprecated("use ced::run_latency_sweep(f, latencies, RunConfig) — see "
+             "core/run.hpp")]]
 std::vector<PipelineReport> run_latency_sweep(const fsm::Fsm& f,
                                               std::span<const int> latencies,
                                               const PipelineOptions& opts);

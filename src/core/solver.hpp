@@ -1,0 +1,64 @@
+#pragma once
+
+// The common interface behind the three parity-selection solvers
+// (Algorithm 1 / LP+rounding, greedy, exact) and the table the degradation
+// cascade iterates over.
+//
+// Before this header, pipeline.cpp hand-rolled the cascade as a chain of
+// if/else blocks, each re-spelling how to budget its solver, when to give
+// up, and what to write into the resilience report. Now every level is a
+// Solver: it reads its run-scoped inputs (deadline, warm start, stats,
+// obs sinks) from the SolverContext the driver built once per table, and
+// either returns a complete ParityScheme or a classified Status explaining
+// why the cascade should fall one level. The driver in pipeline.cpp is a
+// loop over solver_cascade() — adding a level means adding a row, not a
+// branch.
+
+#include <span>
+
+#include "core/algorithm1.hpp"
+#include "core/pipeline.hpp"
+
+namespace ced::core {
+
+/// What one cascade level delivered: a complete cover plus the answer
+/// quality it actually achieved. `level` can be lower than the solver's
+/// nominal level (the LP solver reports kGreedy when budget pressure made
+/// it return its greedy seed; greedy reports kDuplication after the
+/// single-bit close-out).
+struct ParityScheme {
+  std::vector<ParityFunc> parities;
+  CascadeLevel level = CascadeLevel::kLpRounding;
+};
+
+/// One parity-selection strategy. Implementations are stateless; all
+/// run-scoped state travels through the SolverContext.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Human label used in fallback messages ("exact", "LP+rounding", ...).
+  virtual const char* name() const = 0;
+  /// Nominal cascade level of this solver.
+  virtual CascadeLevel level() const = 0;
+
+  /// Attempts a complete cover of *ctx.table. A Status result (kTruncated,
+  /// kInfeasible) means "this level cannot certify an answer" and sends
+  /// the cascade to the next row; non-fatal degradations inside a
+  /// successful solve are recorded through ctx.resilience instead.
+  virtual Result<ParityScheme> solve(SolverContext& ctx,
+                                     const PipelineOptions& opts) const = 0;
+};
+
+/// The registered cascade, best answer quality first: exact, LP+rounding,
+/// greedy (whose single-bit close-out is the duplication-style floor, so
+/// the last row never fails). Stateless singletons with static storage.
+std::span<const Solver* const> solver_cascade();
+
+/// Index into solver_cascade() where `kind` enters the cascade.
+std::size_t cascade_entry(SolverKind kind);
+
+/// The CascadeLevel a requested SolverKind corresponds to.
+CascadeLevel cascade_level_of(SolverKind kind);
+
+}  // namespace ced::core

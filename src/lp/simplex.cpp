@@ -201,7 +201,7 @@ double phase_objective(const Tableau& tb, const std::vector<double>& cost) {
 
 }  // namespace
 
-LpResult solve(const LpProblem& p, const SolverOptions& opts) {
+static LpResult solve_impl(const LpProblem& p, const SolverOptions& opts) {
   const int nv = p.num_variables();
   const int m = p.num_constraints();
 
@@ -402,6 +402,41 @@ LpResult solve(const LpProblem& p, const SolverOptions& opts) {
   for (int j = 0; j < nv; ++j) {
     res.objective += p.objective()[static_cast<std::size_t>(j)] *
                      res.x[static_cast<std::size_t>(j)];
+  }
+  return res;
+}
+
+namespace {
+
+const char* to_label(Status s) {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kIterLimit: return "iter-limit";
+    case Status::kTimeLimit: return "time-limit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LpResult solve(const LpProblem& p, const SolverOptions& opts) {
+  // Observability wrapper: the solve itself never consults the sinks, so
+  // the pivot sequence is identical whether or not anything is recording.
+  if (!opts.obs.enabled()) return solve_impl(p, opts);
+  obs::ScopedSpan span(opts.obs, "lp-solve");
+  const LpResult res = solve_impl(p, opts);
+  span.attr("vars", static_cast<std::uint64_t>(p.num_variables()));
+  span.attr("rows", static_cast<std::uint64_t>(p.num_constraints()));
+  span.attr("pivots", static_cast<std::uint64_t>(res.iterations));
+  span.attr("status", to_label(res.status));
+  if (opts.obs.metrics != nullptr) {
+    obs::MetricsShard shard(opts.obs.metrics);
+    shard.add("ced_lp_solves_total");
+    shard.add("ced_lp_pivots_total", static_cast<std::uint64_t>(res.iterations));
+    shard.observe("ced_lp_pivots_per_solve",
+                  static_cast<double>(res.iterations));
   }
   return res;
 }

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace ced::lp {
 
 /// Relation of one linear constraint.
@@ -64,6 +66,10 @@ struct SolverOptions {
   /// instead of running to optimality. Defaults to "never".
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Observability sinks: a span per solve plus pivot counters. Write-only
+  /// diagnostics — the pivot sequence and the result are byte-identical
+  /// with sinks set or null.
+  obs::Sinks obs;
 };
 
 struct LpResult {

@@ -1,0 +1,181 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <functional>
+
+#include "obs/json.hpp"
+
+namespace ced::obs {
+namespace {
+
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out.front()))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Shortest %g-style rendering for histogram edges ("0.005", "1", "20").
+std::string edge_text(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + json_number(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"edges\": [";
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      if (i) out += ", ";
+      out += json_number(h.edges[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"sum\": " + json_number(h.sum) +
+           ", \"count\": " + std::to_string(h.total) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string trace_json(const std::vector<SpanRecord>& spans,
+                       std::uint64_t dropped) {
+  std::string out = "{\n  \"dropped\": " + std::to_string(dropped) +
+                    ",\n  \"spans\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": " + std::to_string(s.id) +
+           ", \"parent\": " + std::to_string(s.parent) + ", \"name\": \"" +
+           json_escape(s.name) + "\", \"start_s\": " + json_number(s.start_s) +
+           ", \"dur_s\": " + json_number(s.dur_s) + ", \"attrs\": {";
+    for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + json_escape(s.attrs[i].first) + "\": \"" +
+             json_escape(s.attrs[i].second) + "\"";
+    }
+    out += "}}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + json_number(v) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      const std::string le =
+          i < h.edges.size() ? edge_text(h.edges[i]) : "+Inf";
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+    }
+    out += n + "_sum " + json_number(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.total) + "\n";
+  }
+  return out;
+}
+
+std::string explain_tree(const std::vector<SpanRecord>& spans,
+                         const MetricsSnapshot& snap) {
+  std::string out;
+  // Children in snapshot (start-time) order under each parent.
+  std::vector<std::vector<std::size_t>> kids(spans.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    bool found = false;
+    if (spans[i].parent != 0) {
+      for (std::size_t j = 0; j < spans.size(); ++j) {
+        if (spans[j].id == spans[i].parent) {
+          kids[j].push_back(i);
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) roots.push_back(i);
+  }
+  double root_total = 0.0;
+  for (std::size_t r : roots) root_total += spans[r].dur_s;
+
+  std::function<void(std::size_t, int)> emit = [&](std::size_t i, int depth) {
+    const SpanRecord& s = spans[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%9.3fs ", s.dur_s);
+    out += buf;
+    if (root_total > 0.0) {
+      std::snprintf(buf, sizeof(buf), "%5.1f%%  ",
+                    100.0 * s.dur_s / root_total);
+      out += buf;
+    }
+    for (int d = 0; d < depth; ++d) out += "  ";
+    out += s.name;
+    for (const auto& [k, v] : s.attrs) out += "  " + k + "=" + v;
+    out += "\n";
+    for (std::size_t c : kids[i]) emit(c, depth + 1);
+  };
+  for (std::size_t r : roots) emit(r, 0);
+
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    out += "--\n";
+    for (const auto& [name, v] : snap.counters) {
+      out += name + " = " + std::to_string(v) + "\n";
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", v);
+      out += name + " = " + std::string(buf) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace ced::obs

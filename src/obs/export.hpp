@@ -1,0 +1,35 @@
+#pragma once
+
+// Exporters for the observability layer: machine-readable JSON dumps of
+// the metrics snapshot and the span trace, Prometheus text exposition for
+// the metrics, and the human-oriented `--explain` span tree printed by
+// ced_cli. All output is deterministic given the inputs (maps are ordered,
+// spans are sorted) so tests can golden-compare it.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ced::obs {
+
+/// One JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+std::string metrics_json(const MetricsSnapshot& snap);
+
+/// One JSON document: {"dropped":N,"spans":[{...},...]} with spans in
+/// start-time order; each span carries id/parent/name/start_s/dur_s/attrs.
+std::string trace_json(const std::vector<SpanRecord>& spans,
+                       std::uint64_t dropped = 0);
+
+/// Prometheus text exposition format (one `# TYPE` line per family).
+/// Metric names are sanitized to [a-zA-Z0-9_:].
+std::string prometheus_text(const MetricsSnapshot& snap);
+
+/// Human span tree: indentation follows parent links, every line shows
+/// duration, percentage of the root, and attributes; a metrics appendix
+/// lists the counters and gauges. What `ced_cli --explain` prints.
+std::string explain_tree(const std::vector<SpanRecord>& spans,
+                         const MetricsSnapshot& snap);
+
+}  // namespace ced::obs

@@ -1,0 +1,64 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace ced::obs {
+
+std::uint64_t Tracer::begin_span(std::string name, std::uint64_t parent,
+                                 clock::time_point at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.name = std::move(name);
+  rec.start_s = since_epoch(at);
+  open_.push_back(std::move(rec));
+  return open_.back().id;
+}
+
+void Tracer::end_span(std::uint64_t id, clock::time_point at) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [id](const SpanRecord& r) { return r.id == id; });
+  if (it == open_.end()) return;
+  SpanRecord rec = std::move(*it);
+  open_.erase(it);
+  rec.dur_s = since_epoch(at) - rec.start_s;
+  if (rec.dur_s < 0.0) rec.dur_s = 0.0;
+  if (done_.size() < capacity_) {
+    done_.push_back(std::move(rec));
+  } else {
+    done_[done_head_] = std::move(rec);
+    done_head_ = (done_head_ + 1) % capacity_;
+    done_full_ = true;
+    ++dropped_;
+  }
+}
+
+void Tracer::attr(std::uint64_t id, std::string key, std::string value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [id](const SpanRecord& r) { return r.id == id; });
+  if (it == open_.end()) return;
+  it->attrs.emplace_back(std::move(key), std::move(value));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out = done_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_s != b.start_s) return a.start_s < b.start_s;
+                     return a.id < b.id;
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace ced::obs

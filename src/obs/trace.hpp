@@ -1,0 +1,200 @@
+#pragma once
+
+// Span-tracing half of the observability layer (ced_obs): a hierarchical
+// monotonic-clock tracer with a bounded ring-buffer sink, the RAII
+// ScopedSpan wrapper, the Sinks bundle every instrumented layer threads
+// through its options, and the boundary-consistent StageClock the pipeline
+// uses so stage times always sum exactly to the run total.
+//
+// Parenting is explicit (numeric span ids, no thread-local ambient span):
+// a worker span created on a pool thread nests under whatever stage span
+// spawned the fan-out simply because the stage passed its id down — the
+// same discipline as the deterministic shard partitions in
+// common/parallel.hpp.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ced::obs {
+
+/// One finished span: timing relative to the tracer's epoch plus free-form
+/// string attributes. `parent == 0` marks a root.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Thread-safe span sink. Completed spans land in a fixed-capacity ring
+/// buffer (oldest dropped first, with a drop counter) so a runaway
+/// instrumentation loop can never exhaust memory. begin/end accept explicit
+/// time points so callers that already hold a boundary timestamp (the
+/// StageClock) can share one clock sample between adjacent spans.
+class Tracer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  explicit Tracer(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity), epoch_(clock::now()) {}
+
+  clock::time_point epoch() const { return epoch_; }
+
+  /// Opens a span; returns its id (never 0).
+  std::uint64_t begin_span(std::string name, std::uint64_t parent = 0,
+                           clock::time_point at = clock::now());
+  /// Closes an open span; unknown ids are ignored (the span may have been
+  /// evicted — never an error path).
+  void end_span(std::uint64_t id, clock::time_point at = clock::now());
+  /// Attaches a key/value attribute to a still-open span.
+  void attr(std::uint64_t id, std::string key, std::string value);
+
+  /// Completed spans in start-time order (ties broken by id, which is
+  /// allocation order — stable across runs at any thread count for
+  /// deterministic work).
+  std::vector<SpanRecord> snapshot() const;
+  std::uint64_t dropped() const;
+
+ private:
+  double since_epoch(clock::time_point t) const {
+    return std::chrono::duration<double>(t - epoch_).count();
+  }
+
+  std::size_t capacity_;
+  clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<SpanRecord> open_;
+  std::vector<SpanRecord> done_;  // ring buffer
+  std::size_t done_head_ = 0;     // next write slot once full
+  bool done_full_ = false;
+};
+
+/// The observability hooks one layer hands the next. Copyable and tiny;
+/// all-null (the default) means "observability off" and every instrument
+/// downstream reduces to a branch. `parent_span` scopes new spans under
+/// the caller's span — use under() when descending a level.
+struct Sinks {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  std::uint64_t parent_span = 0;
+
+  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+  /// Same sinks, reparented: spans opened through the result nest under
+  /// `parent`.
+  Sinks under(std::uint64_t parent) const { return {tracer, metrics, parent}; }
+};
+
+/// RAII span: opens on construction (no-op with a null tracer), closes on
+/// destruction or an explicit end(). Movable so helpers can return one.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string name, std::uint64_t parent = 0)
+      : tracer_(tracer) {
+    if (tracer_) id_ = tracer_->begin_span(std::move(name), parent);
+  }
+  ScopedSpan(const Sinks& sinks, std::string name)
+      : ScopedSpan(sinks.tracer, std::move(name), sinks.parent_span) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      end();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  ~ScopedSpan() { end(); }
+
+  /// Id for parenting child spans; 0 when tracing is off.
+  std::uint64_t id() const { return id_; }
+
+  void attr(std::string key, std::string value) {
+    if (tracer_ && id_) tracer_->attr(id_, std::move(key), std::move(value));
+  }
+  void attr(std::string key, std::uint64_t value) {
+    attr(std::move(key), std::to_string(value));
+  }
+
+  void end() {
+    if (tracer_ && id_) tracer_->end_span(id_);
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// Boundary-consistent stage timer. The old stage-times code took a fresh
+/// steady_clock::now() pair around every stage, so the per-stage durations
+/// never summed to the separately-measured run total (each gap between one
+/// stage's end sample and the next stage's start sample leaked). Here every
+/// transition takes ONE clock sample that serves as both the end of the
+/// closing stage and the start of the next, so by construction
+///   sum(stage laps) == total()
+/// up to float addition. Spans opened/closed through the clock share the
+/// same boundary timestamps, keeping the trace and the printed stage times
+/// in exact agreement.
+class StageClock {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  StageClock() : start_(clock::now()), boundary_(start_) {}
+
+  clock::time_point boundary() const { return boundary_; }
+
+  /// Opens a stage span starting at the current boundary (0 with a null
+  /// tracer).
+  std::uint64_t open(Tracer* tracer, std::string name,
+                     std::uint64_t parent = 0) {
+    if (!tracer) return 0;
+    return tracer->begin_span(std::move(name), parent, boundary_);
+  }
+
+  /// Advances the boundary to now; returns the closed stage's seconds.
+  double lap() {
+    const clock::time_point now = clock::now();
+    const double dt = std::chrono::duration<double>(now - boundary_).count();
+    boundary_ = now;
+    return dt;
+  }
+
+  /// lap() plus closing `span` at the new boundary (the span's end equals
+  /// the next stage's start exactly).
+  double close(Tracer* tracer, std::uint64_t span) {
+    const double dt = lap();
+    if (tracer && span) tracer->end_span(span, boundary_);
+    return dt;
+  }
+
+  /// Seconds from construction to the last boundary: the telescoping sum
+  /// of every lap taken so far.
+  double total() const {
+    return std::chrono::duration<double>(boundary_ - start_).count();
+  }
+
+ private:
+  clock::time_point start_, boundary_;
+};
+
+}  // namespace ced::obs

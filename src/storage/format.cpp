@@ -24,9 +24,79 @@ constexpr std::uint32_t kTagTables = tag4('T', 'A', 'B', '_');
 constexpr std::uint32_t kTagShard = tag4('S', 'H', 'R', 'D');
 constexpr std::uint32_t kTagScheme = tag4('S', 'C', 'H', 'M');
 constexpr std::uint32_t kTagReport = tag4('R', 'E', 'P', 'T');
+constexpr std::uint32_t kTagManifest = tag4('M', 'A', 'N', 'F');
 
 Status corrupt(const std::string& what) {
   return Status::invalid_input(Stage::kStore, what);
+}
+
+// Resilience reports appear in two artifacts (report + manifest); one
+// writer/reader pair keeps the wire layouts identical.
+void put_resilience(ByteWriter& w, const core::ResilienceReport& res) {
+  w.u8(static_cast<std::uint8_t>(res.status.code));
+  w.u8(static_cast<std::uint8_t>(res.status.stage));
+  w.str(res.status.message);
+  w.u8(res.extraction_truncated ? 1 : 0);
+  w.u8(res.table_strengthened ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(res.solver_requested));
+  w.u8(static_cast<std::uint8_t>(res.solver_used));
+  w.u64(res.events.size());
+  for (const core::FallbackEvent& e : res.events) {
+    w.u8(static_cast<std::uint8_t>(e.stage));
+    w.u8(static_cast<std::uint8_t>(e.reason));
+    w.str(e.detail);
+    w.f64(e.seconds);
+    w.u64(e.cases_seen);
+  }
+  w.u64(res.store_events.size());
+  for (const std::string& e : res.store_events) w.str(e);
+}
+
+/// nullptr on success, else what was malformed (for corrupt()).
+const char* get_resilience(ByteReader& r, core::ResilienceReport& res) {
+  const std::uint8_t code = r.u8();
+  const std::uint8_t stage = r.u8();
+  if (!r.ok() || code > static_cast<std::uint8_t>(StatusCode::kInternal) ||
+      stage > static_cast<std::uint8_t>(Stage::kStore)) {
+    return "status malformed";
+  }
+  res.status.code = static_cast<StatusCode>(code);
+  res.status.stage = static_cast<Stage>(stage);
+  res.status.message = r.str();
+  res.extraction_truncated = r.u8() != 0;
+  res.table_strengthened = r.u8() != 0;
+  const std::uint8_t requested = r.u8();
+  const std::uint8_t used = r.u8();
+  if (!r.ok() ||
+      requested > static_cast<std::uint8_t>(core::CascadeLevel::kDuplication) ||
+      used > static_cast<std::uint8_t>(core::CascadeLevel::kDuplication)) {
+    return "cascade levels malformed";
+  }
+  res.solver_requested = static_cast<core::CascadeLevel>(requested);
+  res.solver_used = static_cast<core::CascadeLevel>(used);
+  const std::uint64_t num_events = r.u64();
+  if (!r.ok() || num_events > 4096) return "events malformed";
+  for (std::uint64_t i = 0; i < num_events; ++i) {
+    core::FallbackEvent e;
+    const std::uint8_t estage = r.u8();
+    const std::uint8_t ereason = r.u8();
+    if (!r.ok() || estage > static_cast<std::uint8_t>(Stage::kStore) ||
+        ereason > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+      return "event malformed";
+    }
+    e.stage = static_cast<Stage>(estage);
+    e.reason = static_cast<StatusCode>(ereason);
+    e.detail = r.str();
+    e.seconds = r.f64();
+    e.cases_seen = r.u64();
+    res.events.push_back(std::move(e));
+  }
+  const std::uint64_t num_store_events = r.u64();
+  if (!r.ok() || num_store_events > 4096) return "store events malformed";
+  for (std::uint64_t i = 0; i < num_store_events; ++i) {
+    res.store_events.push_back(r.str());
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -39,6 +109,7 @@ const char* to_string(ArtifactKind k) {
     case ArtifactKind::kParityScheme: return "parity-scheme";
     case ArtifactKind::kReport: return "report";
     case ArtifactKind::kShard: return "shard";
+    case ArtifactKind::kManifest: return "manifest";
   }
   return "?";
 }
@@ -675,24 +746,7 @@ std::string encode_report(const core::PipelineReport& rep) {
   w.u8(st.greedy_degraded ? 1 : 0);
   w.u64(st.qs_tried.size());
   for (const int q : st.qs_tried) w.u32(static_cast<std::uint32_t>(q));
-  const core::ResilienceReport& res = rep.resilience;
-  w.u8(static_cast<std::uint8_t>(res.status.code));
-  w.u8(static_cast<std::uint8_t>(res.status.stage));
-  w.str(res.status.message);
-  w.u8(res.extraction_truncated ? 1 : 0);
-  w.u8(res.table_strengthened ? 1 : 0);
-  w.u8(static_cast<std::uint8_t>(res.solver_requested));
-  w.u8(static_cast<std::uint8_t>(res.solver_used));
-  w.u64(res.events.size());
-  for (const core::FallbackEvent& e : res.events) {
-    w.u8(static_cast<std::uint8_t>(e.stage));
-    w.u8(static_cast<std::uint8_t>(e.reason));
-    w.str(e.detail);
-    w.f64(e.seconds);
-    w.u64(e.cases_seen);
-  }
-  w.u64(res.store_events.size());
-  for (const std::string& e : res.store_events) w.str(e);
+  put_resilience(w, rep.resilience);
   w.f64(rep.t_synth);
   w.f64(rep.t_extract);
   w.f64(rep.t_solve);
@@ -740,50 +794,8 @@ Result<core::PipelineReport> decode_report(std::string_view bytes) {
   for (std::uint64_t i = 0; i < num_qs; ++i) {
     st.qs_tried.push_back(static_cast<int>(r.u32()));
   }
-  core::ResilienceReport& res = rep.resilience;
-  const std::uint8_t code = r.u8();
-  const std::uint8_t stage = r.u8();
-  if (!r.ok() || code > static_cast<std::uint8_t>(StatusCode::kInternal) ||
-      stage > static_cast<std::uint8_t>(Stage::kStore)) {
-    return corrupt("report status malformed");
-  }
-  res.status.code = static_cast<StatusCode>(code);
-  res.status.stage = static_cast<Stage>(stage);
-  res.status.message = r.str();
-  res.extraction_truncated = r.u8() != 0;
-  res.table_strengthened = r.u8() != 0;
-  const std::uint8_t requested = r.u8();
-  const std::uint8_t used = r.u8();
-  if (!r.ok() ||
-      requested > static_cast<std::uint8_t>(core::CascadeLevel::kDuplication) ||
-      used > static_cast<std::uint8_t>(core::CascadeLevel::kDuplication)) {
-    return corrupt("report cascade levels malformed");
-  }
-  res.solver_requested = static_cast<core::CascadeLevel>(requested);
-  res.solver_used = static_cast<core::CascadeLevel>(used);
-  const std::uint64_t num_events = r.u64();
-  if (!r.ok() || num_events > 4096) return corrupt("report events malformed");
-  for (std::uint64_t i = 0; i < num_events; ++i) {
-    core::FallbackEvent e;
-    const std::uint8_t estage = r.u8();
-    const std::uint8_t ereason = r.u8();
-    if (!r.ok() || estage > static_cast<std::uint8_t>(Stage::kStore) ||
-        ereason > static_cast<std::uint8_t>(StatusCode::kInternal)) {
-      return corrupt("report event malformed");
-    }
-    e.stage = static_cast<Stage>(estage);
-    e.reason = static_cast<StatusCode>(ereason);
-    e.detail = r.str();
-    e.seconds = r.f64();
-    e.cases_seen = r.u64();
-    res.events.push_back(std::move(e));
-  }
-  const std::uint64_t num_store_events = r.u64();
-  if (!r.ok() || num_store_events > 4096) {
-    return corrupt("report store events malformed");
-  }
-  for (std::uint64_t i = 0; i < num_store_events; ++i) {
-    res.store_events.push_back(r.str());
+  if (const char* err = get_resilience(r, rep.resilience)) {
+    return corrupt(std::string("report ") + err);
   }
   rep.t_synth = r.f64();
   rep.t_extract = r.f64();
@@ -791,6 +803,88 @@ Result<core::PipelineReport> decode_report(std::string_view bytes) {
   rep.t_ced = r.f64();
   if (!r.at_end()) return corrupt("report has extra bytes");
   return rep;
+}
+
+// ------------------------------------------------------------ manifests
+
+std::string encode_manifest(const ManifestArtifact& m) {
+  ArtifactWriter art(ArtifactKind::kManifest);
+  ByteWriter w;
+  w.str(m.config_digest);
+  w.str(m.extraction_key);
+  w.str(m.circuit);
+  w.u32(static_cast<std::uint32_t>(m.latency));
+  w.u32(static_cast<std::uint32_t>(m.threads));
+  w.u64(m.parities.size());
+  for (const core::ParityFunc p : m.parities) w.u64(p);
+  put_resilience(w, m.resilience);
+  w.f64(m.t_synth);
+  w.f64(m.t_extract);
+  w.f64(m.t_solve);
+  w.f64(m.t_ced);
+  w.u64(m.spans.size());
+  for (const obs::SpanRecord& s : m.spans) {
+    w.u64(s.id);
+    w.u64(s.parent);
+    w.str(s.name);
+    w.f64(s.start_s);
+    w.f64(s.dur_s);
+    w.u64(s.attrs.size());
+    for (const auto& [k, v] : s.attrs) {
+      w.str(k);
+      w.str(v);
+    }
+  }
+  art.section(kTagManifest, w.take());
+  return art.seal();
+}
+
+Result<ManifestArtifact> decode_manifest(std::string_view bytes) {
+  auto art = ArtifactReader::open(bytes, ArtifactKind::kManifest);
+  if (!art) return art.status();
+  auto payload = art->section(kTagManifest);
+  if (!payload) return payload.status();
+  ByteReader r(*payload);
+  ManifestArtifact m;
+  m.config_digest = r.str();
+  m.extraction_key = r.str();
+  m.circuit = r.str();
+  m.latency = static_cast<int>(r.u32());
+  m.threads = static_cast<int>(r.u32());
+  const std::uint64_t num_parities = r.u64();
+  if (!r.ok() || num_parities > 64) {
+    return corrupt("manifest parities malformed");
+  }
+  for (std::uint64_t i = 0; i < num_parities; ++i) {
+    m.parities.push_back(r.u64());
+  }
+  if (const char* err = get_resilience(r, m.resilience)) {
+    return corrupt(std::string("manifest ") + err);
+  }
+  m.t_synth = r.f64();
+  m.t_extract = r.f64();
+  m.t_solve = r.f64();
+  m.t_ced = r.f64();
+  const std::uint64_t num_spans = r.u64();
+  if (!r.ok() || num_spans > 65536) return corrupt("manifest spans malformed");
+  for (std::uint64_t i = 0; i < num_spans; ++i) {
+    obs::SpanRecord s;
+    s.id = r.u64();
+    s.parent = r.u64();
+    s.name = r.str();
+    s.start_s = r.f64();
+    s.dur_s = r.f64();
+    const std::uint64_t num_attrs = r.u64();
+    if (!r.ok() || num_attrs > 256) return corrupt("manifest attrs malformed");
+    for (std::uint64_t j = 0; j < num_attrs; ++j) {
+      std::string k = r.str();
+      std::string v = r.str();
+      s.attrs.emplace_back(std::move(k), std::move(v));
+    }
+    m.spans.push_back(std::move(s));
+  }
+  if (!r.at_end()) return corrupt("manifest has extra bytes");
+  return m;
 }
 
 }  // namespace ced::storage

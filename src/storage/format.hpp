@@ -28,6 +28,7 @@
 #include "core/extract.hpp"
 #include "core/pipeline.hpp"
 #include "fsm/synthesize.hpp"
+#include "obs/trace.hpp"
 #include "sim/faults.hpp"
 
 namespace ced::storage {
@@ -42,6 +43,7 @@ enum class ArtifactKind : std::uint16_t {
   kParityScheme = 4,
   kReport = 5,
   kShard = 6,
+  kManifest = 7,
 };
 
 const char* to_string(ArtifactKind k);
@@ -163,5 +165,28 @@ Result<SchemeArtifact> decode_scheme(std::string_view bytes);
 
 std::string encode_report(const core::PipelineReport& rep);
 Result<core::PipelineReport> decode_report(std::string_view bytes);
+
+/// The signed-off record of one pipeline run: which configuration ran
+/// (RunConfig::digest()), on which extraction input (the content-addressed
+/// extraction key), what it decided (cascade levels, degradation events,
+/// store incidents), what it produced (q and the parity masks), and how
+/// long each stage took — including the stage span tree when the run was
+/// traced. Everything a later session needs to audit or reproduce the run
+/// without re-running it.
+struct ManifestArtifact {
+  std::string config_digest;    ///< RunConfig::digest() fingerprint
+  std::string extraction_key;   ///< extraction_digest(); "" without archive
+  std::string circuit;          ///< human label (CLI argument)
+  int latency = 0;
+  int threads = 0;              ///< execution context, informational only
+  std::vector<core::ParityFunc> parities;
+  core::ResilienceReport resilience;
+  double t_synth = 0, t_extract = 0, t_solve = 0, t_ced = 0;
+  /// Completed spans of the run (empty when tracing was off).
+  std::vector<obs::SpanRecord> spans;
+};
+
+std::string encode_manifest(const ManifestArtifact& m);
+Result<ManifestArtifact> decode_manifest(std::string_view bytes);
 
 }  // namespace ced::storage

@@ -36,8 +36,13 @@ std::vector<std::string> ArtifactStore::drain_events() {
   return out;
 }
 
+void ArtifactStore::count(const char* name) const {
+  if (sinks_.metrics != nullptr) sinks_.metrics->add(name);
+}
+
 Status ArtifactStore::put(const std::string& name, std::string_view bytes) {
   if (!init_status_.ok()) return init_status_;
+  count("ced_store_writes_total");
   Status st = io::atomic_write_file(path_for(name), bytes);
   if (!st.ok()) event("write failed for " + name + ".ced: " + st.message);
   return st;
@@ -48,12 +53,14 @@ void ArtifactStore::quarantine_file(const fs::path& p, const std::string& why) {
   std::error_code ec;
   fs::rename(p, dest, ec);
   if (ec) fs::remove(p, ec);  // cross-device or races: drop it instead
+  count("ced_store_quarantines_total");
   event("quarantined " + p.filename().string() + ": " + why +
         "; recomputing");
 }
 
 Result<std::string> ArtifactStore::get_validated(const std::string& name,
                                                  ArtifactKind kind) {
+  count("ced_store_reads_total");
   const fs::path p = path_for(name);
   auto bytes = io::read_file(p);
   if (!bytes) {
@@ -166,6 +173,11 @@ std::string scheme_name(const std::string& key, int latency,
   return "scheme-" + key + "-p" + std::to_string(latency) + "-" + solver;
 }
 
+std::string manifest_name(const std::string& key, int latency,
+                          const std::string& solver) {
+  return "man-" + key + "-p" + std::to_string(latency) + "-" + solver;
+}
+
 // -------------------------------------------------------- StoreArchive
 
 std::vector<core::DetectabilityTable> StoreArchive::load_tables(
@@ -235,6 +247,22 @@ Result<SchemeArtifact> load_scheme(ArtifactStore& store,
   auto scheme = decode_scheme(*bytes);
   if (!scheme) store.discard_corrupt(name, scheme.status().message);
   return scheme;
+}
+
+// ------------------------------------------------------------ manifests
+
+Status store_manifest(ArtifactStore& store, const std::string& name,
+                      const ManifestArtifact& manifest) {
+  return store.put(name, encode_manifest(manifest));
+}
+
+Result<ManifestArtifact> load_manifest(ArtifactStore& store,
+                                       const std::string& name) {
+  auto bytes = store.get_validated(name, ArtifactKind::kManifest);
+  if (!bytes) return bytes.status();
+  auto manifest = decode_manifest(*bytes);
+  if (!manifest) store.discard_corrupt(name, manifest.status().message);
+  return manifest;
 }
 
 }  // namespace ced::storage

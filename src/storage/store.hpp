@@ -79,13 +79,23 @@ class ArtifactStore {
   /// failures). The pipeline folds these into ResilienceReport::store_events.
   std::vector<std::string> drain_events();
 
+  /// Attaches observability sinks: store reads/writes/quarantines become
+  /// counters (ced_store_reads_total, ced_store_writes_total,
+  /// ced_store_quarantines_total). Write-only diagnostics on a cold path —
+  /// updates go straight to the registry, no shard buffering. The caller
+  /// keeps ownership; sinks must outlive the store or be reset to {}.
+  void set_sinks(const obs::Sinks& sinks) { sinks_ = sinks; }
+
  private:
   std::filesystem::path path_for(const std::string& name) const;
   void quarantine_file(const std::filesystem::path& p, const std::string& why);
   void event(std::string e);
 
+  void count(const char* name) const;
+
   std::filesystem::path dir_;
   Status init_status_;
+  obs::Sinks sinks_;
   mutable std::mutex mu_;
   std::vector<std::string> events_;
 };
@@ -120,6 +130,8 @@ std::string table_name(const std::string& key);
 std::string shard_name(const std::string& key, std::uint32_t index);
 std::string scheme_name(const std::string& key, int latency,
                         const std::string& solver);
+std::string manifest_name(const std::string& key, int latency,
+                          const std::string& solver);
 
 /// Scheme round-trip through a store (corruption-checked like any other
 /// artifact; a corrupt scheme is quarantined and reported as a miss).
@@ -127,5 +139,11 @@ Status store_scheme(ArtifactStore& store, const std::string& name,
                     const SchemeArtifact& scheme);
 Result<SchemeArtifact> load_scheme(ArtifactStore& store,
                                    const std::string& name);
+
+/// Run-manifest round-trip (same quarantine-on-corruption contract).
+Status store_manifest(ArtifactStore& store, const std::string& name,
+                      const ManifestArtifact& manifest);
+Result<ManifestArtifact> load_manifest(ArtifactStore& store,
+                                       const std::string& name);
 
 }  // namespace ced::storage

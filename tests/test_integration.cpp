@@ -8,6 +8,7 @@
 #include "benchdata/suite.hpp"
 #include "core/latency.hpp"
 #include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "core/verify.hpp"
 #include "kiss/kiss.hpp"
 
@@ -24,7 +25,7 @@ TEST_P(EndToEnd, BoundedDetectionHolds) {
 
   PipelineOptions opts;
   opts.latency = p;
-  const PipelineReport rep = run_pipeline(f, opts);
+  const PipelineReport rep = ced::run_pipeline(f, RunConfig::wrap(opts));
   EXPECT_GT(rep.num_trees, 0);
   EXPECT_GT(rep.num_cases, 0u);
   EXPECT_GT(rep.ced_area, 0.0);
@@ -53,7 +54,7 @@ TEST(EndToEndExtra, GreedySolverAlsoVerifies) {
   PipelineOptions opts;
   opts.latency = 2;
   opts.solver = SolverKind::kGreedy;
-  const PipelineReport rep = run_pipeline(f, opts);
+  const PipelineReport rep = ced::run_pipeline(f, RunConfig::wrap(opts));
   const fsm::FsmCircuit circuit =
       fsm::synthesize_fsm(f, opts.encoding, opts.synth);
   const auto faults = sim::enumerate_stuck_at(circuit.netlist);
@@ -68,7 +69,7 @@ TEST(EndToEndExtra, ExactSolverAlsoVerifies) {
   PipelineOptions opts;
   opts.latency = 2;
   opts.solver = SolverKind::kExact;
-  const PipelineReport rep = run_pipeline(f, opts);
+  const PipelineReport rep = ced::run_pipeline(f, RunConfig::wrap(opts));
   const fsm::FsmCircuit circuit =
       fsm::synthesize_fsm(f, opts.encoding, opts.synth);
   const auto faults = sim::enumerate_stuck_at(circuit.netlist);
@@ -83,7 +84,7 @@ TEST(EndToEndExtra, GrayEncodingVerifies) {
   PipelineOptions opts;
   opts.latency = 2;
   opts.encoding = fsm::EncodingKind::kGray;
-  const PipelineReport rep = run_pipeline(f, opts);
+  const PipelineReport rep = ced::run_pipeline(f, RunConfig::wrap(opts));
   const fsm::FsmCircuit circuit =
       fsm::synthesize_fsm(f, opts.encoding, opts.synth);
   const auto faults = sim::enumerate_stuck_at(circuit.netlist);
@@ -96,7 +97,7 @@ TEST(EndToEndExtra, LatencySweepSharesExtraction) {
       fsm::Fsm::from_kiss(kiss::parse(benchdata::handwritten_kiss("link_rx")));
   PipelineOptions opts;
   const std::vector<int> ps{1, 2, 3};
-  const auto reports = run_latency_sweep(f, ps, opts);
+  const auto reports = ced::run_latency_sweep(f, ps, RunConfig::wrap(opts));
   ASSERT_EQ(reports.size(), 3u);
   // Monotone: more latency never needs more trees.
   EXPECT_LE(reports[1].num_trees, reports[0].num_trees);
@@ -160,7 +161,7 @@ TEST(EndToEndExtra, SyntheticSuiteSmallCircuitVerifies) {
   const fsm::Fsm f = benchdata::suite_fsm("s27");
   PipelineOptions opts;
   opts.latency = 2;
-  const PipelineReport rep = run_pipeline(f, opts);
+  const PipelineReport rep = ced::run_pipeline(f, RunConfig::wrap(opts));
   const fsm::FsmCircuit circuit =
       fsm::synthesize_fsm(f, opts.encoding, opts.synth);
   const auto faults = sim::enumerate_stuck_at(circuit.netlist);

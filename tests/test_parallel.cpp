@@ -15,6 +15,7 @@
 #include "benchdata/suite.hpp"
 #include "core/extract.hpp"
 #include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "core/rng.hpp"
 #include "kiss/kiss.hpp"
 #include "sim/faults.hpp"
@@ -139,8 +140,8 @@ TEST(ParallelPipeline, SelectedParitiesIdenticalAcrossThreadCounts) {
     serial.threads = 1;
     core::PipelineOptions wide = serial;
     wide.threads = 4;
-    const auto r1 = core::run_pipeline(f, serial);
-    const auto r4 = core::run_pipeline(f, wide);
+    const auto r1 = ced::run_pipeline(f, ced::RunConfig::wrap(serial));
+    const auto r4 = ced::run_pipeline(f, ced::RunConfig::wrap(wide));
     EXPECT_EQ(r1.num_cases, r4.num_cases) << name;
     EXPECT_EQ(r1.num_trees, r4.num_trees) << name;
     EXPECT_EQ(r1.parities, r4.parities) << name;
@@ -179,7 +180,7 @@ TEST(ParallelBudget, CaseValveTruncatesHonestlyUnderConcurrency) {
   popts.latency = 3;
   popts.threads = 4;
   popts.budget.max_cases = 8;
-  const auto rep = core::run_pipeline(f, popts);
+  const auto rep = ced::run_pipeline(f, ced::RunConfig::wrap(popts));
   EXPECT_TRUE(rep.resilience.extraction_truncated);
   EXPECT_TRUE(rep.resilience.degraded());
   EXPECT_FALSE(rep.parities.empty());

@@ -1,4 +1,5 @@
 #include "core/pipeline.hpp"
+#include "core/run.hpp"
 
 #include <gtest/gtest.h>
 
@@ -16,7 +17,7 @@ fsm::Fsm machine(const std::string& name) {
 TEST(Pipeline, ReportFieldsAreConsistent) {
   PipelineOptions opts;
   opts.latency = 2;
-  const PipelineReport rep = run_pipeline(machine("link_rx"), opts);
+  const PipelineReport rep = ced::run_pipeline(machine("link_rx"), RunConfig::wrap(opts));
   EXPECT_EQ(rep.inputs, 1);
   EXPECT_EQ(rep.outputs, 3);
   EXPECT_EQ(rep.state_bits, 3);
@@ -37,7 +38,7 @@ TEST(Pipeline, ReportFieldsAreConsistent) {
 TEST(Pipeline, SweepIsMonotoneAndShares) {
   const std::vector<int> ps{1, 2, 3};
   PipelineOptions opts;
-  const auto reps = run_latency_sweep(machine("vending"), ps, opts);
+  const auto reps = ced::run_latency_sweep(machine("vending"), ps, RunConfig::wrap(opts));
   ASSERT_EQ(reps.size(), 3u);
   for (std::size_t i = 0; i < reps.size(); ++i) {
     EXPECT_EQ(reps[i].latency, ps[i]);
@@ -55,7 +56,7 @@ TEST(Pipeline, SolverKindsAllProduceValidCovers) {
     PipelineOptions opts;
     opts.latency = 2;
     opts.solver = kind;
-    const PipelineReport rep = run_pipeline(machine("traffic"), opts);
+    const PipelineReport rep = ced::run_pipeline(machine("traffic"), RunConfig::wrap(opts));
     EXPECT_GT(rep.num_trees, 0) << static_cast<int>(kind);
     // Every parity mask stays within the observable bits.
     const int n = rep.state_bits + rep.outputs;
@@ -71,8 +72,8 @@ TEST(Pipeline, MachineLevelSemanticsSelectable) {
   impl.latency = 2;
   PipelineOptions ml = impl;
   ml.extract.semantics = DiffSemantics::kMachineLevel;
-  const PipelineReport ri = run_pipeline(machine("link_rx"), impl);
-  const PipelineReport rm = run_pipeline(machine("link_rx"), ml);
+  const PipelineReport ri = ced::run_pipeline(machine("link_rx"), RunConfig::wrap(impl));
+  const PipelineReport rm = ced::run_pipeline(machine("link_rx"), RunConfig::wrap(ml));
   // Machine-level tables are never harder than implementable ones.
   EXPECT_LE(rm.num_trees, ri.num_trees);
 }
@@ -81,19 +82,46 @@ TEST(Pipeline, EncodingChoiceAffectsStateBits) {
   PipelineOptions onehot;
   onehot.latency = 1;
   onehot.encoding = fsm::EncodingKind::kOneHot;
-  const PipelineReport rep = run_pipeline(machine("traffic"), onehot);
+  const PipelineReport rep = ced::run_pipeline(machine("traffic"), RunConfig::wrap(onehot));
   EXPECT_EQ(rep.state_bits, 3);  // 3 states one-hot
 }
 
 TEST(Pipeline, SweepAcceptsUnsortedLatencies) {
   const std::vector<int> ps{2, 1};
   PipelineOptions opts;
-  const auto reps = run_latency_sweep(machine("seq_detect"), ps, opts);
+  const auto reps = ced::run_latency_sweep(machine("seq_detect"), ps, RunConfig::wrap(opts));
   ASSERT_EQ(reps.size(), 2u);
   EXPECT_EQ(reps[0].latency, 2);
   EXPECT_EQ(reps[1].latency, 1);
   EXPECT_GE(reps[1].num_trees, reps[0].num_trees);
 }
+
+// The deprecated core:: entry points must keep working (they forward to
+// the consolidated implementation) for one transition period. This is the
+// one sanctioned caller; everything else in the tree goes through
+// ced::run_pipeline / ced::run_latency_sweep, and CI builds the library
+// with -Werror=deprecated-declarations to keep it that way.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Pipeline, DeprecatedShimsMatchConsolidatedApi) {
+  PipelineOptions opts;
+  opts.latency = 2;
+  const PipelineReport via_shim = run_pipeline(machine("link_rx"), opts);
+  const PipelineReport via_api =
+      ced::run_pipeline(machine("link_rx"), RunConfig::wrap(opts));
+  EXPECT_EQ(via_shim.num_trees, via_api.num_trees);
+  EXPECT_EQ(via_shim.parities, via_api.parities);
+
+  const std::vector<int> ps{1, 2};
+  const auto shim_sweep = run_latency_sweep(machine("vending"), ps, opts);
+  const auto api_sweep =
+      ced::run_latency_sweep(machine("vending"), ps, RunConfig::wrap(opts));
+  ASSERT_EQ(shim_sweep.size(), api_sweep.size());
+  for (std::size_t i = 0; i < shim_sweep.size(); ++i) {
+    EXPECT_EQ(shim_sweep[i].parities, api_sweep[i].parities);
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace ced::core

@@ -17,6 +17,7 @@
 #include "core/greedy.hpp"
 #include "core/parity.hpp"
 #include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "kiss/kiss.hpp"
 #include "lp/simplex.hpp"
 #include "sim/faults.hpp"
@@ -192,7 +193,7 @@ TEST(Resilience, CascadeFallsToFloorWhenWallClockGone) {
 TEST(Resilience, UnbudgetedPipelineRunsClean) {
   PipelineOptions opts;
   opts.latency = 2;
-  const PipelineReport rep = run_pipeline(machine("traffic"), opts);
+  const PipelineReport rep = ced::run_pipeline(machine("traffic"), RunConfig::wrap(opts));
   EXPECT_TRUE(rep.resilience.status.ok());
   EXPECT_FALSE(rep.resilience.degraded());
   EXPECT_TRUE(rep.resilience.events.empty());
@@ -202,7 +203,7 @@ TEST(Resilience, PipelineSurvivesCaseStarvation) {
   PipelineOptions opts;
   opts.latency = 3;
   opts.budget.max_cases = 5;
-  const PipelineReport rep = run_pipeline(machine("link_rx"), opts);
+  const PipelineReport rep = ced::run_pipeline(machine("link_rx"), RunConfig::wrap(opts));
   EXPECT_TRUE(rep.resilience.extraction_truncated);
   EXPECT_TRUE(rep.resilience.degraded());
   EXPECT_EQ(rep.resilience.status.code, StatusCode::kTruncated);
@@ -216,7 +217,7 @@ TEST(Resilience, PipelineSurvivesLpStarvation) {
   PipelineOptions opts;
   opts.latency = 2;
   opts.budget.max_lp_iterations = 1;
-  const PipelineReport rep = run_pipeline(machine("vending"), opts);
+  const PipelineReport rep = ced::run_pipeline(machine("vending"), RunConfig::wrap(opts));
   // Must terminate with a usable cover whatever path it took.
   EXPECT_GT(rep.num_trees, 0);
   // Rebuild the same table and check the cover against it.
@@ -228,7 +229,7 @@ TEST(Resilience, PipelineSurvivesRoundingStarvation) {
   PipelineOptions opts;
   opts.latency = 2;
   opts.budget.max_rounding_attempts = 1;
-  const PipelineReport rep = run_pipeline(machine("traffic"), opts);
+  const PipelineReport rep = ced::run_pipeline(machine("traffic"), RunConfig::wrap(opts));
   EXPECT_GT(rep.num_trees, 0);
   const DetectabilityTable t = table_for("traffic", 2);
   EXPECT_TRUE(covers_all(rep.parities, t));
@@ -238,7 +239,7 @@ TEST(Resilience, PipelineSurvivesWallClockStarvation) {
   PipelineOptions opts;
   opts.latency = 3;
   opts.budget.wall_seconds = 1e-9;
-  const PipelineReport rep = run_pipeline(machine("link_rx"), opts);
+  const PipelineReport rep = ced::run_pipeline(machine("link_rx"), RunConfig::wrap(opts));
   EXPECT_TRUE(rep.resilience.degraded());
   EXPECT_FALSE(rep.resilience.status.code == StatusCode::kInternal);
 }
@@ -258,7 +259,7 @@ TEST(Resilience, GeneratedAdversarialFsmUnderTinyWallBudget) {
   PipelineOptions opts;
   opts.latency = 3;
   opts.budget.wall_seconds = 5e-4;
-  const PipelineReport rep = run_pipeline(f, opts);
+  const PipelineReport rep = ced::run_pipeline(f, RunConfig::wrap(opts));
   EXPECT_NE(rep.resilience.status.code, StatusCode::kInternal);
   EXPECT_NE(rep.resilience.status.code, StatusCode::kInvalidInput);
   if (!rep.resilience.degraded()) {
@@ -271,7 +272,7 @@ TEST(Resilience, ExactRequestWithNodeStarvationDegradesNotThrows) {
   opts.latency = 2;
   opts.solver = SolverKind::kExact;
   opts.budget.max_exact_nodes = 1;
-  const PipelineReport rep = run_pipeline(machine("traffic"), opts);
+  const PipelineReport rep = ced::run_pipeline(machine("traffic"), RunConfig::wrap(opts));
   EXPECT_TRUE(rep.resilience.degraded());
   EXPECT_EQ(rep.resilience.solver_requested, CascadeLevel::kExact);
   EXPECT_NE(rep.resilience.solver_used, CascadeLevel::kExact);
@@ -283,7 +284,7 @@ TEST(Resilience, ExactRequestWithNodeStarvationDegradesNotThrows) {
 TEST(Resilience, SweepClassifiesBadLatencyAsInvalidInput) {
   const std::vector<int> ps{0};
   PipelineOptions opts;
-  const auto reps = run_latency_sweep(machine("traffic"), ps, opts);
+  const auto reps = ced::run_latency_sweep(machine("traffic"), ps, RunConfig::wrap(opts));
   ASSERT_EQ(reps.size(), 1u);
   EXPECT_EQ(reps[0].resilience.status.code, StatusCode::kInvalidInput);
   EXPECT_TRUE(reps[0].resilience.degraded());
@@ -296,7 +297,7 @@ TEST(Resilience, TruncatedSweepDisablesWarmStartShortcut) {
   const std::vector<int> ps{1, 2, 3};
   PipelineOptions opts;
   opts.budget.max_cases = 4;
-  const auto reps = run_latency_sweep(machine("link_rx"), ps, opts);
+  const auto reps = ced::run_latency_sweep(machine("link_rx"), ps, RunConfig::wrap(opts));
   ASSERT_EQ(reps.size(), 3u);
   for (const auto& r : reps) {
     EXPECT_TRUE(r.resilience.extraction_truncated);

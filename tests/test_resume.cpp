@@ -15,6 +15,7 @@
 #include "benchdata/handwritten.hpp"
 #include "common/io.hpp"
 #include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "kiss/kiss.hpp"
 #include "storage/store.hpp"
 
@@ -65,7 +66,7 @@ class ResumeTest : public ::testing::Test {
     opts.resume = spec.resume;
     opts.checkpoint_shards = kShards;
     opts.max_new_shards = spec.max_new_shards;
-    return core::run_pipeline(machine(), opts);
+    return ced::run_pipeline(machine(), ced::RunConfig::wrap(opts));
   }
 
   static std::vector<std::string> names_with_prefix(const fs::path& dir,
@@ -150,7 +151,7 @@ TEST_F(ResumeTest, DeadlineTripThenResumeCompletes) {
     opts.archive = &archive;
     opts.checkpoint_shards = kShards;
     opts.budget.wall_seconds = 1e-9;
-    const core::PipelineReport tripped = core::run_pipeline(machine(), opts);
+    const core::PipelineReport tripped = ced::run_pipeline(machine(), ced::RunConfig::wrap(opts));
     EXPECT_TRUE(tripped.resilience.degraded());
     EXPECT_TRUE(names_with_prefix(dir, "tab-").empty());
     EXPECT_TRUE(names_with_prefix(dir, "shard-").empty());

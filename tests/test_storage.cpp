@@ -18,6 +18,7 @@
 #include "common/io.hpp"
 #include "core/parity_synth.hpp"
 #include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "core/verify.hpp"
 #include "kiss/kiss.hpp"
 #include "sim/faults.hpp"
@@ -146,7 +147,7 @@ TEST_F(StorageTest, SchemeRoundTripIsCanonicalAndVerifies) {
   core::PipelineOptions opts;
   opts.latency = 2;
   opts.threads = 1;
-  const core::PipelineReport rep = core::run_pipeline(f, opts);
+  const core::PipelineReport rep = ced::run_pipeline(f, ced::RunConfig::wrap(opts));
   ASSERT_FALSE(rep.resilience.degraded());
 
   SchemeArtifact scheme;
@@ -221,6 +222,90 @@ TEST_F(StorageTest, ReportRoundTripIsCanonical) {
   EXPECT_EQ(decoded->resilience.store_events, rep.resilience.store_events);
   EXPECT_EQ(decoded->t_extract, rep.t_extract);
   EXPECT_EQ(encode_report(*decoded), bytes);
+}
+
+ManifestArtifact sample_manifest() {
+  ManifestArtifact man;
+  man.config_digest = "0123456789abcdef0123456789abcdef";
+  man.extraction_key = "deadbeefdeadbeefdeadbeefdeadbeef";
+  man.circuit = "traffic";
+  man.latency = 2;
+  man.threads = 4;
+  man.parities = {0x12, 0x50, 0x2b};
+  man.resilience.status = Status::truncated(Stage::kLp, "lp budget");
+  man.resilience.solver_used = core::CascadeLevel::kGreedy;
+  core::FallbackEvent ev;
+  ev.stage = Stage::kLp;
+  ev.reason = StatusCode::kTruncated;
+  ev.detail = "fell back to greedy";
+  ev.seconds = 0.25;
+  man.resilience.events.push_back(ev);
+  man.resilience.store_events.push_back("quarantined tab-x.ced: crc");
+  man.t_synth = 0.01;
+  man.t_extract = 1.25;
+  man.t_solve = 0.5;
+  man.t_ced = 0.02;
+  obs::SpanRecord root;
+  root.id = 1;
+  root.name = "pipeline";
+  root.dur_s = 1.78;
+  obs::SpanRecord child;
+  child.id = 2;
+  child.parent = 1;
+  child.name = "solve";
+  child.start_s = 1.26;
+  child.dur_s = 0.5;
+  child.attrs.emplace_back("q", "3");
+  child.attrs.emplace_back("cascade", "greedy");
+  man.spans = {root, child};
+  return man;
+}
+
+TEST_F(StorageTest, ManifestRoundTripIsCanonical) {
+  const ManifestArtifact man = sample_manifest();
+  const std::string bytes = encode_manifest(man);
+  auto decoded = decode_manifest(bytes);
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().to_text();
+  EXPECT_EQ(decoded->config_digest, man.config_digest);
+  EXPECT_EQ(decoded->extraction_key, man.extraction_key);
+  EXPECT_EQ(decoded->circuit, man.circuit);
+  EXPECT_EQ(decoded->latency, man.latency);
+  EXPECT_EQ(decoded->threads, man.threads);
+  EXPECT_EQ(decoded->parities, man.parities);
+  EXPECT_EQ(decoded->resilience.status.code, StatusCode::kTruncated);
+  EXPECT_EQ(decoded->resilience.solver_used, core::CascadeLevel::kGreedy);
+  ASSERT_EQ(decoded->resilience.events.size(), 1u);
+  EXPECT_EQ(decoded->resilience.events[0].detail, "fell back to greedy");
+  EXPECT_EQ(decoded->resilience.store_events, man.resilience.store_events);
+  EXPECT_EQ(decoded->t_extract, man.t_extract);
+  ASSERT_EQ(decoded->spans.size(), 2u);
+  EXPECT_EQ(decoded->spans[0].name, "pipeline");
+  EXPECT_EQ(decoded->spans[1].parent, 1u);
+  EXPECT_EQ(decoded->spans[1].attrs, man.spans[1].attrs);
+  EXPECT_EQ(decoded->spans[1].start_s, man.spans[1].start_s);
+  EXPECT_EQ(encode_manifest(*decoded), bytes);
+}
+
+TEST_F(StorageTest, ManifestStoreLoadAndQuarantineOnCorruption) {
+  ArtifactStore store(dir_);
+  const ManifestArtifact man = sample_manifest();
+  const std::string name =
+      manifest_name(man.extraction_key, man.latency, "greedy");
+  EXPECT_EQ(name, "man-" + man.extraction_key + "-p2-greedy");
+  ASSERT_TRUE(store_manifest(store, name, man).ok());
+
+  auto loaded = load_manifest(store, name);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_text();
+  EXPECT_EQ(loaded->config_digest, man.config_digest);
+  EXPECT_EQ(loaded->spans.size(), man.spans.size());
+
+  // Flip a byte on disk: the load must fail AND quarantine the file.
+  std::string bytes = read_raw(name);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x08);
+  write_raw(name, bytes);
+  EXPECT_FALSE(load_manifest(store, name).has_value());
+  EXPECT_FALSE(store.exists(name));
+  EXPECT_TRUE(fs::exists(dir_ / "quarantine" / (name + ".ced")));
 }
 
 // ------------------------------------------------------------- atomic I/O
@@ -353,7 +438,7 @@ TEST_F(StorageTest, PipelineQuarantinesCorruptCacheAndRecomputes) {
   opts.latency = 2;
   opts.threads = 1;
   opts.archive = &archive;
-  const core::PipelineReport ref = core::run_pipeline(f, opts);
+  const core::PipelineReport ref = ced::run_pipeline(f, ced::RunConfig::wrap(opts));
   ASSERT_FALSE(ref.resilience.degraded());
   ASSERT_TRUE(ref.resilience.store_events.empty());
 
@@ -367,7 +452,7 @@ TEST_F(StorageTest, PipelineQuarantinesCorruptCacheAndRecomputes) {
   bytes[bytes.size() / 3] = static_cast<char>(bytes[bytes.size() / 3] ^ 0x20);
   write_raw(tab_name, bytes);
 
-  const core::PipelineReport rep = core::run_pipeline(f, opts);
+  const core::PipelineReport rep = ced::run_pipeline(f, ced::RunConfig::wrap(opts));
   // Same full-quality answer, recomputed; the incident is an audit event,
   // not a degradation.
   EXPECT_EQ(rep.parities, ref.parities);
@@ -396,7 +481,7 @@ TEST_F(StorageTest, StoreDirectoryFailureDegradesToAlwaysMiss) {
   opts.latency = 1;
   opts.threads = 1;
   opts.archive = &archive;
-  const core::PipelineReport rep = core::run_pipeline(f, opts);
+  const core::PipelineReport rep = ced::run_pipeline(f, ced::RunConfig::wrap(opts));
   EXPECT_FALSE(rep.resilience.degraded());
   EXPECT_FALSE(rep.resilience.store_events.empty());
   EXPECT_GT(rep.num_cases, 0u);

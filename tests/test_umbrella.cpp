@@ -14,7 +14,7 @@ TEST(Umbrella, PublicApiReachable) {
       ced::kiss::parse(ced::benchdata::handwritten_kiss("traffic")));
   ced::core::PipelineOptions opts;
   opts.latency = 1;
-  const ced::core::PipelineReport rep = ced::core::run_pipeline(f, opts);
+  const ced::core::PipelineReport rep = ced::run_pipeline(f, ced::RunConfig::wrap(opts));
   EXPECT_GT(rep.num_trees, 0);
   EXPECT_TRUE(ced::logic::CellLibrary::mcnc().inv > 0.0);
 }

@@ -5,10 +5,13 @@
 //                    [--minimize-states] [--area-aware] [--verify] [--threads=N]
 //                    [--budget-seconds=F] [--max-cases=N] [--max-lp-iters=N]
 //                    [--max-roundings=N] [--max-exact-nodes=N]
+//                    [--metrics-out=FILE] [--trace-out=FILE] [--prom-out=FILE]
+//                    [--explain]
 //   ced_cli analyze  <machine.kiss>
 //   ced_cli generate --states=N --inputs=N --outputs=N [--seed=N] [--self-loops=F]
 //   ced_cli verify   <machine.kiss> --store=DIR [--latency=N] [--solver=...]
-//   ced_cli store    verify|gc --store=DIR
+//   ced_cli store    verify|gc|list --store=DIR
+//   ced_cli store    show <name> --store=DIR
 //   ced_cli help
 //
 // `protect` runs the full bounded-latency CED pipeline and prints the
@@ -32,6 +35,7 @@
 //   2  invalid input (unreadable file, malformed KISS2, bad flags)
 //   3  internal error
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,13 +45,15 @@
 #include <string>
 
 #include "benchdata/generator.hpp"
+#include "benchdata/suite.hpp"
 #include "core/area_aware.hpp"
 #include "core/latency.hpp"
-#include "core/pipeline.hpp"
+#include "core/run.hpp"
 #include "core/verify.hpp"
 #include "fsm/analysis.hpp"
 #include "fsm/minimize_states.hpp"
 #include "kiss/kiss.hpp"
+#include "obs/export.hpp"
 #include "storage/store.hpp"
 
 namespace {
@@ -80,12 +86,17 @@ int usage() {
                "          [--max-roundings=N] [--max-exact-nodes=N]\n"
                "          [--store=DIR] [--resume] [--checkpoint-shards=N] "
                "[--max-new-shards=N]\n"
+               "          [--metrics-out=FILE] [--trace-out=FILE] "
+               "[--prom-out=FILE] [--explain]\n"
                "  ced_cli analyze <machine.kiss>\n"
                "  ced_cli generate --states=N --inputs=N --outputs=N "
                "[--seed=N] [--self-loops=F]\n"
+               "  ced_cli generate --suite=NAME   emit a Table-1 suite "
+               "circuit as KISS2\n"
                "  ced_cli verify <machine.kiss> --store=DIR [--latency=N] "
                "[--solver=...]\n"
-               "  ced_cli store verify|gc --store=DIR\n"
+               "  ced_cli store verify|gc|list --store=DIR\n"
+               "  ced_cli store show <name> --store=DIR\n"
                "  ced_cli help      full flag reference incl. budget table\n");
   return kExitInvalidInput;
 }
@@ -144,6 +155,16 @@ int cmd_help() {
       "                                  (deterministic interruption for\n"
       "                                  testing resume; 0 = no limit)\n"
       "\n"
+      "Observability flags (protect): collectors are off by default; any\n"
+      "of these flags (or --store, which embeds the span tree in the run\n"
+      "manifest) turns them on. Instrumentation is write-only: q and the\n"
+      "parity masks are byte-identical with observability on or off.\n"
+      "  --metrics-out=FILE              write the metrics snapshot as JSON\n"
+      "  --trace-out=FILE                write the span trace as JSON\n"
+      "  --prom-out=FILE                 write Prometheus text exposition\n"
+      "  --explain                       print the human span tree +\n"
+      "                                  metrics appendix to stdout\n"
+      "\n"
       "Store subcommands:\n"
       "  ced_cli verify <m.kiss> --store=DIR   re-prove bounded detection\n"
       "      for the scheme stored by a previous protect run (pass the same\n"
@@ -151,7 +172,11 @@ int cmd_help() {
       "  ced_cli store verify --store=DIR      integrity-scan every\n"
       "      artifact; corrupt ones are quarantined (exit 1 if any)\n"
       "  ced_cli store gc --store=DIR          remove stray temp files,\n"
-      "      quarantined artifacts and superseded shard checkpoints\n");
+      "      quarantined artifacts and superseded shard checkpoints\n"
+      "  ced_cli store list --store=DIR        list artifact names\n"
+      "  ced_cli store show <name> --store=DIR print a run manifest\n"
+      "      (config digest, extraction key, parities, resilience events,\n"
+      "      stage times and the recorded span tree)\n");
   return kExitOk;
 }
 
@@ -254,6 +279,13 @@ const char* solver_tag(core::SolverKind solver) {
   return "lp";
 }
 
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw InvalidInputError("cannot write " + path);
+  out << text;
+  if (!out.flush()) throw InvalidInputError("cannot write " + path);
+}
+
 int cmd_protect(int argc, char** argv) {
   if (argc < 3) return usage();
   fsm::Fsm f = load_machine(argv[2]);
@@ -265,42 +297,65 @@ int cmd_protect(int argc, char** argv) {
     f = r.machine;
   }
 
-  core::PipelineOptions opts;
-  opts.latency = std::atoi(arg_value(argc, argv, "--latency", "2").c_str());
-  const std::string solver = arg_value(argc, argv, "--solver", "lp");
-  opts.solver = solver == "greedy"  ? core::SolverKind::kGreedy
-                : solver == "exact" ? core::SolverKind::kExact
-                                    : core::SolverKind::kLpRounding;
-  const std::string enc = arg_value(argc, argv, "--encoding", "binary");
-  opts.encoding = enc == "gray"     ? fsm::EncodingKind::kGray
-                  : enc == "onehot" ? fsm::EncodingKind::kOneHot
-                  : enc == "spread" ? fsm::EncodingKind::kSpread
-                                    : fsm::EncodingKind::kBinary;
-  if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
-    opts.extract.semantics = core::DiffSemantics::kMachineLevel;
-  }
-  // 0 = auto (CED_THREADS env or hardware concurrency); negatives mean auto
-  // too rather than wrapping.
-  const int threads =
-      std::atoi(arg_value(argc, argv, "--threads", "0").c_str());
-  opts.threads = threads >= 1 ? threads : 0;
-  opts.budget = budget_from_args(argc, argv);
-
+  // Observability: collectors are off unless an export flag asks for them
+  // or a store is bound (run manifests embed the span tree). Results are
+  // byte-identical either way — the sinks are write-only.
+  const std::string metrics_out = arg_value(argc, argv, "--metrics-out", "");
+  const std::string trace_out = arg_value(argc, argv, "--trace-out", "");
+  const std::string prom_out = arg_value(argc, argv, "--prom-out", "");
+  const bool explain = has_flag(argc, argv, "--explain");
   const std::string store_dir = arg_value(argc, argv, "--store", "");
+  const bool observing = explain || !metrics_out.empty() ||
+                         !trace_out.empty() || !prom_out.empty() ||
+                         !store_dir.empty();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const obs::Sinks sinks =
+      observing ? obs::Sinks{&tracer, &metrics, 0} : obs::Sinks{};
+
   std::optional<storage::ArtifactStore> store;
   std::optional<storage::StoreArchive> archive;
   if (!store_dir.empty()) {
     store.emplace(store_dir);
+    store->set_sinks(sinks);
     archive.emplace(*store);
-    opts.archive = &*archive;
-    opts.resume = has_flag(argc, argv, "--resume");
-    opts.checkpoint_shards =
-        std::atoi(arg_value(argc, argv, "--checkpoint-shards", "0").c_str());
-    opts.max_new_shards =
-        std::atoi(arg_value(argc, argv, "--max-new-shards", "0").c_str());
   }
 
-  const core::PipelineReport rep = core::run_pipeline(f, opts);
+  const std::string solver = arg_value(argc, argv, "--solver", "lp");
+  const std::string enc = arg_value(argc, argv, "--encoding", "binary");
+  // 0 = auto (CED_THREADS env or hardware concurrency); negatives mean auto
+  // too rather than wrapping.
+  const int threads =
+      std::atoi(arg_value(argc, argv, "--threads", "0").c_str());
+
+  RunConfig::Builder builder;
+  builder.latency(std::atoi(arg_value(argc, argv, "--latency", "2").c_str()))
+      .solver(solver == "greedy"  ? core::SolverKind::kGreedy
+              : solver == "exact" ? core::SolverKind::kExact
+                                  : core::SolverKind::kLpRounding)
+      .encoding(enc == "gray"     ? fsm::EncodingKind::kGray
+                : enc == "onehot" ? fsm::EncodingKind::kOneHot
+                : enc == "spread" ? fsm::EncodingKind::kSpread
+                                  : fsm::EncodingKind::kBinary)
+      .threads(threads >= 1 ? threads : 0)
+      .budget(budget_from_args(argc, argv))
+      .observe(sinks);
+  if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
+    builder.semantics(core::DiffSemantics::kMachineLevel);
+  }
+  if (store) {
+    builder.archive(&*archive)
+        .resume(has_flag(argc, argv, "--resume"))
+        .checkpoint_shards(std::atoi(
+            arg_value(argc, argv, "--checkpoint-shards", "0").c_str()))
+        .max_new_shards(
+            std::atoi(arg_value(argc, argv, "--max-new-shards", "0").c_str()));
+  }
+  const Result<RunConfig> cfg = builder.build();
+  if (!cfg) throw InvalidInputError(cfg.status().message);
+  const core::PipelineOptions& opts = cfg->options();
+
+  const core::PipelineReport rep = ced::run_pipeline(f, *cfg);
   const core::ResilienceReport& res = rep.resilience;
   if (res.status.code == StatusCode::kInvalidInput) {
     std::fprintf(stderr, "error: %s\n", res.status.to_text().c_str());
@@ -326,8 +381,13 @@ int cmd_protect(int argc, char** argv) {
               rep.ced_gates, rep.ced_area,
               rep.orig_area > 0 ? 100.0 * rep.ced_area / rep.orig_area : 0.0);
   // A warm store makes the skipped extraction stage directly visible here.
-  std::printf("stage times: synth=%.3fs extract=%.3fs solve=%.3fs ced=%.3fs\n",
-              rep.t_synth, rep.t_extract, rep.t_solve, rep.t_ced);
+  // The laps come from one boundary-consistent StageClock, so the printed
+  // total is exactly their sum — no leaked gaps between stages.
+  std::printf(
+      "stage times: synth=%.3fs extract=%.3fs solve=%.3fs ced=%.3fs "
+      "total=%.3fs\n",
+      rep.t_synth, rep.t_extract, rep.t_solve, rep.t_ced,
+      rep.t_synth + rep.t_extract + rep.t_solve + rep.t_ced);
 
   const std::string res_summary = res.summary();
   if (!res_summary.empty()) {
@@ -343,12 +403,14 @@ int cmd_protect(int argc, char** argv) {
     // can re-prove it later. Degraded schemes (truncated tables, cascade
     // floors) are deliberately not stored: they cover what was seen, not
     // necessarily the full fault set.
-    core::ExtractOptions ex = opts.extract;
-    ex.latency = opts.latency;
-    const int num_shards =
-        core::resolve_checkpoint_shards(opts.checkpoint_shards, faults.size());
-    const std::string key =
-        core::extraction_digest(circuit, faults, ex, num_shards);
+    std::string key = rep.extraction_key;
+    if (key.empty()) {
+      core::ExtractOptions ex = opts.extract;
+      ex.latency = opts.latency;
+      const int num_shards = core::resolve_checkpoint_shards(
+          opts.checkpoint_shards, faults.size());
+      key = core::extraction_digest(circuit, faults, ex, num_shards);
+    }
     if (!res.degraded()) {
       storage::SchemeArtifact scheme;
       scheme.latency = rep.latency;
@@ -357,6 +419,25 @@ int cmd_protect(int argc, char** argv) {
           *store, storage::scheme_name(key, rep.latency, solver_tag(opts.solver)),
           scheme);
     }
+    // The run manifest is the audit record and is stored for degraded runs
+    // too — a degraded manifest documents exactly how the run degraded.
+    storage::ManifestArtifact man;
+    man.config_digest = cfg->digest();
+    man.extraction_key = key;
+    man.circuit = argv[2];
+    man.latency = rep.latency;
+    man.threads = opts.threads;
+    man.parities = rep.parities;
+    man.resilience = res;
+    man.t_synth = rep.t_synth;
+    man.t_extract = rep.t_extract;
+    man.t_solve = rep.t_solve;
+    man.t_ced = rep.t_ced;
+    man.spans = tracer.snapshot();
+    const std::string man_name =
+        storage::manifest_name(key, rep.latency, solver_tag(opts.solver));
+    storage::store_manifest(*store, man_name, man);
+    std::printf("manifest: %s\n", man_name.c_str());
   }
 
   if (has_flag(argc, argv, "--area-aware")) {
@@ -379,6 +460,22 @@ int cmd_protect(int argc, char** argv) {
                 vr.activations_checked, vr.violations, vr.false_alarms,
                 vr.ok() ? "OK" : "FAILED");
     verify_failed = !vr.ok();
+  }
+
+  // Exports go last so they cover the whole run, store traffic included.
+  if (!metrics_out.empty()) {
+    write_text_file(metrics_out, obs::metrics_json(metrics.snapshot()));
+  }
+  if (!prom_out.empty()) {
+    write_text_file(prom_out, obs::prometheus_text(metrics.snapshot()));
+  }
+  if (!trace_out.empty()) {
+    write_text_file(trace_out,
+                    obs::trace_json(tracer.snapshot(), tracer.dropped()));
+  }
+  if (explain) {
+    std::fputs(obs::explain_tree(tracer.snapshot(), metrics.snapshot()).c_str(),
+               stdout);
   }
   return (res.degraded() || verify_failed) ? kExitDegraded : kExitOk;
 }
@@ -487,10 +584,65 @@ int cmd_store(int argc, char** argv) {
                 st.stale_shards_removed);
     return kExitOk;
   }
+  if (sub == "list") {
+    auto names = store.list();
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) std::printf("%s\n", name.c_str());
+    return kExitOk;
+  }
+  if (sub == "show") {
+    if (argc < 4 || argv[3][0] == '-') {
+      throw InvalidInputError("store show requires an artifact name "
+                              "(see `ced_cli store list`)");
+    }
+    const std::string name = argv[3];
+    auto man = storage::load_manifest(store, name);
+    for (const auto& e : store.drain_events()) {
+      std::fprintf(stderr, "  [store] %s\n", e.c_str());
+    }
+    if (!man) {
+      throw InvalidInputError("cannot load manifest " + name + ": " +
+                              man.status().message);
+    }
+    std::printf("manifest %s\n", name.c_str());
+    std::printf("  circuit: %s  p=%d  threads=%d\n", man->circuit.c_str(),
+                man->latency, man->threads);
+    std::printf("  config digest:  %s\n", man->config_digest.c_str());
+    std::printf("  extraction key: %s\n", man->extraction_key.c_str());
+    std::printf("  parities (q=%zu):\n", man->parities.size());
+    for (std::size_t l = 0; l < man->parities.size(); ++l) {
+      std::printf("    tree %zu: mask 0x%llx\n", l,
+                  static_cast<unsigned long long>(man->parities[l]));
+    }
+    std::printf(
+        "  stage times: synth=%.3fs extract=%.3fs solve=%.3fs ced=%.3fs "
+        "total=%.3fs\n",
+        man->t_synth, man->t_extract, man->t_solve, man->t_ced,
+        man->t_synth + man->t_extract + man->t_solve + man->t_ced);
+    const std::string summary = man->resilience.summary();
+    if (!summary.empty()) std::fputs(summary.c_str(), stdout);
+    if (!man->spans.empty()) {
+      std::fputs(obs::explain_tree(man->spans, {}).c_str(), stdout);
+    }
+    return kExitOk;
+  }
   return usage();
 }
 
 int cmd_generate(int argc, char** argv) {
+  // --suite=NAME emits the exact KISS2 text of one Table-1 suite circuit
+  // (the profile-matched stand-ins are generated, so the text is
+  // reproducible); this is how CI hands suite circuits to `protect`.
+  const std::string suite = arg_value(argc, argv, "--suite", "");
+  if (!suite.empty()) {
+    for (const auto& e : benchdata::mcnc_suite()) {
+      if (e.name == suite) {
+        std::fputs(benchdata::generate_kiss(e.spec).c_str(), stdout);
+        return kExitOk;
+      }
+    }
+    throw InvalidInputError("unknown suite circuit: " + suite);
+  }
   benchdata::SyntheticSpec spec;
   spec.name = "generated";
   spec.states = std::atoi(arg_value(argc, argv, "--states", "12").c_str());

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the sanitizer passes.
+# Tier-1 gate plus the kernel/obs smoke checks, the deprecation build
+# gate, and the sanitizer passes.
 #
 #   tools/ci.sh            # plain build + full ctest, then ASan+UBSan build
 #                          # + full ctest under sanitizers, then TSan build
@@ -29,6 +30,45 @@ echo "== solver kernel: bit-sliced vs scalar q-equality =="
 # The cover kernel must be a pure speedup: the bit-sliced and scalar paths
 # have to select identical parities on the small suite (exit 1 otherwise).
 ./build/bench/bench_perf --smoke
+
+echo "== obs smoke: exporters parse, q unaffected =="
+# Observability must be write-only: run s1488 p=2 with and without the
+# collectors, assert the JSON exports parse and carry real data, and that
+# the printed parities are identical (the exports add information, never
+# perturb the answer).
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+./build/tools/ced_cli generate --suite=s1488 > "$obs_tmp/s1488.kiss"
+./build/tools/ced_cli protect "$obs_tmp/s1488.kiss" --latency=2 --threads=4 \
+    > "$obs_tmp/plain.out"
+./build/tools/ced_cli protect "$obs_tmp/s1488.kiss" --latency=2 --threads=4 \
+    --metrics-out="$obs_tmp/m.json" --trace-out="$obs_tmp/t.json" \
+    --prom-out="$obs_tmp/p.prom" > "$obs_tmp/obs.out"
+python3 - "$obs_tmp" <<'PYEOF'
+import json, sys
+d = sys.argv[1]
+m = json.load(open(d + "/m.json"))
+t = json.load(open(d + "/t.json"))
+assert m["counters"].get("ced_extract_cases_total", 0) > 0, \
+    "metrics JSON parsed but carries no extraction counters"
+assert any(s["name"] == "pipeline" for s in t["spans"]), \
+    "trace JSON parsed but has no pipeline root span"
+assert any(l.startswith("# TYPE") for l in open(d + "/p.prom")), \
+    "Prometheus exposition has no TYPE lines"
+PYEOF
+grep -E 'q=|mask' "$obs_tmp/plain.out" > "$obs_tmp/plain.q"
+grep -E 'q=|mask' "$obs_tmp/obs.out" > "$obs_tmp/obs.q"
+diff -u "$obs_tmp/plain.q" "$obs_tmp/obs.q" \
+  || { echo "obs run changed q/parities"; exit 1; }
+
+echo "== deprecation gate: in-tree code uses only the new API =="
+# The old core::run_pipeline / core::run_latency_sweep signatures are
+# [[deprecated]] shims. Recompile everything with the warning promoted to
+# an error so no in-tree caller can quietly regress (the one sanctioned
+# shim-equivalence test suppresses the warning with a pragma).
+cmake -B build-deprec -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-Werror=deprecated-declarations" >/dev/null
+cmake --build build-deprec -j "$jobs"
 
 echo "== sanitizers: ASan + UBSan =="
 cmake --preset asan-ubsan >/dev/null
