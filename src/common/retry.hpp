@@ -1,0 +1,118 @@
+#pragma once
+
+// Reusable retry policy: capped exponential backoff with decorrelated
+// jitter, bounded by both an attempt count and a total-elapsed budget.
+//
+// The jitter is the "decorrelated" variant (AWS architecture blog):
+//     next = min(cap, uniform(base, prev * 3))
+// which spreads retries of many concurrent clients apart instead of
+// re-synchronizing them the way plain exponential-with-full-jitter does
+// after the first collision. The RNG is a small private splitmix64 so a
+// fixed seed yields a reproducible delay sequence (tests pin it).
+//
+// Two consumers today: ced_client retries transient daemon failures
+// (connect refused, kOverloaded with a retry-after hint, torn frames),
+// and ArtifactStore::put retries transient filesystem write errors.
+// Header-only; depends only on the standard library.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace ced {
+
+struct RetryPolicy {
+  int max_attempts = 5;          ///< total tries, including the first
+  double base_ms = 50.0;         ///< first-retry floor
+  double cap_ms = 2000.0;        ///< per-delay ceiling
+  double max_elapsed_ms = 30000.0;  ///< whole-operation budget (0 = none)
+
+  static RetryPolicy none() { return {1, 0.0, 0.0, 0.0}; }
+};
+
+/// One operation's retry bookkeeping. Ask `next_delay_ms()` after each
+/// failure: a non-negative value is how long to back off before the next
+/// attempt; a negative value means the budget (attempts or elapsed time)
+/// is exhausted and the failure is final.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy, std::uint64_t seed = 1)
+      : policy_(policy),
+        rng_state_(seed | 1),
+        prev_ms_(policy.base_ms),
+        started_(std::chrono::steady_clock::now()) {}
+
+  int attempts() const { return attempts_; }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - started_)
+        .count();
+  }
+
+  double next_delay_ms() {
+    ++attempts_;
+    if (attempts_ >= policy_.max_attempts) return -1.0;
+    if (policy_.max_elapsed_ms > 0.0 && elapsed_ms() >= policy_.max_elapsed_ms) {
+      return -1.0;
+    }
+    const double lo = policy_.base_ms;
+    const double hi = std::max(lo, prev_ms_ * 3.0);
+    const double delay = std::min(policy_.cap_ms, lo + uniform() * (hi - lo));
+    prev_ms_ = delay;
+    return delay;
+  }
+
+  /// Server-directed override (an explicit retry-after hint wins over the
+  /// computed jitter but still counts against both budgets).
+  double next_delay_ms(double hint_ms) {
+    const double computed = next_delay_ms();
+    if (computed < 0.0) return computed;
+    if (hint_ms > 0.0) {
+      prev_ms_ = std::min(policy_.cap_ms, hint_ms);
+      return prev_ms_;
+    }
+    return computed;
+  }
+
+ private:
+  double uniform() {
+    // splitmix64, mapped to [0, 1).
+    rng_state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  RetryPolicy policy_;
+  std::uint64_t rng_state_;
+  double prev_ms_;
+  int attempts_ = 0;
+  std::chrono::steady_clock::time_point started_;
+};
+
+/// Runs `attempt` until it reports success, returns a non-retryable
+/// failure, or the policy budget runs out. `attempt(attempt_index)` returns
+/// true on success; `retryable()` classifies the failure; `sleep_ms` is
+/// injectable so tests never actually wait. Returns true iff an attempt
+/// succeeded.
+inline bool retry_call(
+    const RetryPolicy& policy, const std::function<bool(int)>& attempt,
+    std::uint64_t seed = 1,
+    const std::function<void(double)>& sleep_ms = [](double ms) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    }) {
+  RetryState state(policy, seed);
+  for (int i = 0;; ++i) {
+    if (attempt(i)) return true;
+    const double delay = state.next_delay_ms();
+    if (delay < 0.0) return false;
+    sleep_ms(delay);
+  }
+}
+
+}  // namespace ced

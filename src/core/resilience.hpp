@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -28,6 +29,17 @@ struct RunBudget {
   /// Cap on branch-and-bound nodes for the exact solver.
   std::size_t max_exact_nodes = 0;
 
+  /// Optional external interrupt channel (non-owning; must outlive the
+  /// run). When the pointed-to flag becomes true, every Deadline built
+  /// from this budget reports expired() at the next cooperative poll, so
+  /// the run checkpoints and degrades exactly as if its wall clock had
+  /// run out. This is how ced_cli turns SIGINT into a prompt checkpoint
+  /// and how the ced_serve daemon drains in-flight work on SIGTERM.
+  /// Deliberately not part of unlimited(): an interrupt channel is not a
+  /// standing limit, and it never shapes results unless it actually fires
+  /// (tripped runs report kTruncated like any other valve).
+  const std::atomic<bool>* interrupt = nullptr;
+
   bool unlimited() const {
     return wall_seconds <= 0.0 && max_cases == 0 && max_lp_iterations == 0 &&
            max_rounding_attempts == 0 && max_exact_nodes == 0;
@@ -51,13 +63,20 @@ class Deadline {
     return d;
   }
 
-  /// Unlimited when the budget has no wall-clock component.
+  /// Unlimited when the budget has no wall-clock component — unless the
+  /// budget carries an interrupt flag, which arms the deadline as a pure
+  /// trip wire (no time component, expires only when the flag fires).
   static Deadline from(const RunBudget& budget) {
-    return after(budget.wall_seconds);
+    Deadline d = after(budget.wall_seconds);
+    d.trip_ = budget.interrupt;
+    return d;
   }
 
-  bool armed() const { return armed_; }
+  bool armed() const { return armed_ || trip_ != nullptr; }
   bool expired() const {
+    if (trip_ != nullptr && trip_->load(std::memory_order_relaxed)) {
+      return true;
+    }
     return armed_ && std::chrono::steady_clock::now() >= at_;
   }
   /// Time point for APIs that take absolute deadlines (the LP solver);
@@ -68,6 +87,7 @@ class Deadline {
 
  private:
   bool armed_ = false;
+  const std::atomic<bool>* trip_ = nullptr;
   std::chrono::steady_clock::time_point at_{};
 };
 

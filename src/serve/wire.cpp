@@ -1,0 +1,416 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ced::serve {
+
+// ---------------------------------------------------------------- JSON
+
+const Json* Json::get(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::str_or(std::string fallback) const {
+  return type_ == Type::kString ? str_ : std::move(fallback);
+}
+
+double Json::num_or(double fallback) const {
+  return type_ == Type::kNumber ? num_ : fallback;
+}
+
+bool Json::bool_or(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+bool valid_utf8(std::string_view s) {
+  const auto* p = reinterpret_cast<const unsigned char*>(s.data());
+  const auto* end = p + s.size();
+  while (p < end) {
+    const unsigned char c = *p;
+    if (c < 0x80) {
+      ++p;
+      continue;
+    }
+    int len;
+    std::uint32_t cp;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      cp = c & 0x1Fu;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      cp = c & 0x0Fu;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      cp = c & 0x07u;
+    } else {
+      return false;  // stray continuation byte or invalid lead
+    }
+    if (end - p < len) return false;  // truncated sequence
+    for (int i = 1; i < len; ++i) {
+      if ((p[i] & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (p[i] & 0x3Fu);
+    }
+    // Overlongs, UTF-16 surrogates, and > U+10FFFF are all invalid.
+    static constexpr std::uint32_t kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMin[len] || cp > 0x10FFFF ||
+        (cp >= 0xD800 && cp <= 0xDFFF)) {
+      return false;
+    }
+    p += len;
+  }
+  return true;
+}
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+// Not in an anonymous namespace: Json names this exact class as a friend.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json> run() {
+    skip_ws();
+    Json v;
+    Status st = parse_value(v, 0);
+    if (!st.ok()) return st;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing content after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status fail(const std::string& what) const {
+    return Status::invalid_input(
+        Stage::kParse, what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        out.type_ = Json::Type::kString;
+        return parse_string(out.str_);
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out.type_ = Json::Type::kBool;
+          out.bool_ = true;
+          return Status::make_ok();
+        }
+        return fail("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out.type_ = Json::Type::kBool;
+          out.bool_ = false;
+          return Status::make_ok();
+        }
+        return fail("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out.type_ = Json::Type::kNull;
+          return Status::make_ok();
+        }
+        return fail("bad literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status parse_object(Json& out, int depth) {
+    ++pos_;  // '{'
+    out.type_ = Json::Type::kObject;
+    skip_ws();
+    if (eat('}')) return Status::make_ok();
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key string");
+      }
+      std::string key;
+      Status st = parse_string(key);
+      if (!st.ok()) return st;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after object key");
+      skip_ws();
+      Json value;
+      st = parse_value(value, depth + 1);
+      if (!st.ok()) return st;
+      out.members_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return Status::make_ok();
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parse_array(Json& out, int depth) {
+    ++pos_;  // '['
+    out.type_ = Json::Type::kArray;
+    skip_ws();
+    if (eat(']')) return Status::make_ok();
+    for (;;) {
+      skip_ws();
+      Json value;
+      Status st = parse_value(value, depth + 1);
+      if (!st.ok()) return st;
+      out.items_.push_back(std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return Status::make_ok();
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::make_ok();
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!read_hex4(cp)) return fail("bad \\u escape");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: require the low half immediately after.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired UTF-16 surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            if (!read_hex4(lo) || lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("unpaired UTF-16 surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool read_hex4(std::uint32_t& out) {
+    if (text_.size() - pos_ < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      return fail("bad number");
+    }
+    // No leading zeros: "0" alone or a nonzero first digit.
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return fail("bad number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return fail("bad number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* endp = nullptr;
+    const double v = std::strtod(token.c_str(), &endp);
+    if (endp != token.c_str() + token.size() || !std::isfinite(v)) {
+      return fail("number out of range");
+    }
+    out.type_ = Json::Type::kNumber;
+    out.num_ = v;
+    return Status::make_ok();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<Json> Json::parse(std::string_view text) {
+  if (!valid_utf8(text)) {
+    return Status::invalid_input(Stage::kParse, "payload is not valid UTF-8");
+  }
+  return JsonParser(text).run();
+}
+
+// -------------------------------------------------------------- frames
+
+namespace {
+
+/// Reads exactly n bytes; returns bytes actually read (short on EOF).
+std::size_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ::ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    break;  // EOF, timeout, or hard error
+  }
+  return got;
+}
+
+}  // namespace
+
+FrameStatus read_frame(int fd, std::string& out, std::size_t max_bytes) {
+  unsigned char hdr[4];
+  const std::size_t h = read_exact(fd, reinterpret_cast<char*>(hdr), 4);
+  if (h == 0) return FrameStatus::kClosed;
+  if (h < 4) return FrameStatus::kTorn;
+  const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                            static_cast<std::uint32_t>(hdr[3]);
+  if (len == 0 || len > max_bytes) return FrameStatus::kTooLarge;
+  out.resize(len);
+  if (read_exact(fd, out.data(), len) < len) return FrameStatus::kTorn;
+  return FrameStatus::kOk;
+}
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > 0xFFFFFFFFull) {
+    return Status::internal(Stage::kParse, "frame payload too large");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.push_back(static_cast<char>((len >> 24) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 8) & 0xFF));
+  buf.push_back(static_cast<char>(len & 0xFF));
+  buf.append(payload);
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+#ifdef MSG_NOSIGNAL
+    const ::ssize_t r =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+#else
+    const ::ssize_t r = ::send(fd, buf.data() + sent, buf.size() - sent, 0);
+#endif
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::internal(Stage::kParse, std::string("send failed: ") +
+                                                 std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return Status::make_ok();
+}
+
+}  // namespace ced::serve

@@ -3,11 +3,32 @@
 #include <cstdio>
 #include <system_error>
 
+#include <sys/file.h>
+#include <unistd.h>
+
 #include "common/io.hpp"
+#include "common/retry.hpp"
 
 namespace ced::storage {
 
 namespace fs = std::filesystem;
+
+StoreLock::StoreLock(const fs::path& dir, bool exclusive) {
+  const std::string path = (dir / ".store.lock").string();
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  if (::flock(fd_, exclusive ? LOCK_EX : LOCK_SH) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StoreLock::~StoreLock() {
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
 
 ArtifactStore::ArtifactStore(fs::path dir) : dir_(std::move(dir)) {
   std::error_code ec;
@@ -43,7 +64,23 @@ void ArtifactStore::count(const char* name) const {
 Status ArtifactStore::put(const std::string& name, std::string_view bytes) {
   if (!init_status_.ok()) return init_status_;
   count("ced_store_writes_total");
-  Status st = io::atomic_write_file(path_for(name), bytes);
+  // Shared lease for the whole atomic write so a concurrent maintenance
+  // sweep in another process (exclusive) cannot unlink the in-flight
+  // temp file between create and rename.
+  StoreLock lease(dir_, /*exclusive=*/false);
+  // Transient filesystem errors (EINTR storms, momentary EAGAIN/ENOSPC
+  // blips under the chaos harness) get a short bounded retry before the
+  // failure is surfaced as an event.
+  Status st;
+  const RetryPolicy policy{/*max_attempts=*/3, /*base_ms=*/5.0,
+                           /*cap_ms=*/50.0, /*max_elapsed_ms=*/500.0};
+  retry_call(policy, [&](int attempt) {
+    st = io::atomic_write_file(path_for(name), bytes);
+    if (!st.ok() && attempt + 1 < policy.max_attempts) {
+      count("ced_store_write_retries_total");
+    }
+    return st.ok();
+  });
   if (!st.ok()) event("write failed for " + name + ".ced: " + st.message);
   return st;
 }
@@ -61,6 +98,9 @@ void ArtifactStore::quarantine_file(const fs::path& p, const std::string& why) {
 Result<std::string> ArtifactStore::get_validated(const std::string& name,
                                                  ArtifactKind kind) {
   count("ced_store_reads_total");
+  // Shared lease: covers both the read and a possible quarantine move, so
+  // a cross-process gc can't sweep the file out from under either step.
+  StoreLock lease(dir_, /*exclusive=*/false);
   const fs::path p = path_for(name);
   auto bytes = io::read_file(p);
   if (!bytes) {
@@ -100,11 +140,16 @@ std::vector<std::string> ArtifactStore::list() const {
 
 void ArtifactStore::discard_corrupt(const std::string& name,
                                     const std::string& why) {
+  StoreLock lease(dir_, /*exclusive=*/false);
   quarantine_file(path_for(name), why);
 }
 
 VerifyStats ArtifactStore::verify_all() {
   VerifyStats stats;
+  // Exclusive lease: no writer in any process may be mid-put while the
+  // scan classifies files (a half-visible write would be quarantined as
+  // corrupt). quarantine_file itself takes no lock — callers hold one.
+  StoreLock lease(dir_, /*exclusive=*/true);
   for (const std::string& name : list()) {
     ++stats.scanned;
     auto bytes = io::read_file(path_for(name));
@@ -126,6 +171,10 @@ VerifyStats ArtifactStore::verify_all() {
 
 GcStats ArtifactStore::gc() {
   GcStats stats;
+  // Exclusive lease: the temp-file sweep below would otherwise race a
+  // concurrent writer's atomic_write_file (unlinking its temp between
+  // create and rename makes the rename fail).
+  StoreLock lease(dir_, /*exclusive=*/true);
   std::error_code ec;
   // Stray atomic-write temp files (a crash between create and rename).
   for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;

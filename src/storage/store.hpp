@@ -25,6 +25,30 @@
 
 namespace ced::storage {
 
+/// Advisory cross-process lease over a store directory, backed by
+/// flock(2) on `<dir>/.store.lock`. Writers (put, quarantine moves) hold
+/// it shared; the maintenance sweeps (verify_all, gc) hold it exclusive —
+/// so a daemon worker persisting a checkpoint shard and a concurrent
+/// `ced_cli store gc` in another process serialize instead of tearing
+/// each other (gc could otherwise unlink the writer's in-flight atomic
+/// temp file between create and rename). Acquisition blocks; both sides'
+/// critical sections are short. A store whose lock file cannot be opened
+/// degrades to unlocked operation (held() == false) rather than failing —
+/// the lock is a hardening layer, not a correctness dependency for
+/// single-process use.
+class StoreLock {
+ public:
+  StoreLock(const std::filesystem::path& dir, bool exclusive);
+  ~StoreLock();
+  StoreLock(const StoreLock&) = delete;
+  StoreLock& operator=(const StoreLock&) = delete;
+
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
 /// Result of an integrity scan over every artifact in the store.
 struct VerifyStats {
   std::size_t scanned = 0;

@@ -7,8 +7,12 @@
 #include "storage/store.hpp"
 
 #include <gtest/gtest.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -485,6 +489,84 @@ TEST_F(StorageTest, StoreDirectoryFailureDegradesToAlwaysMiss) {
   EXPECT_FALSE(rep.resilience.degraded());
   EXPECT_FALSE(rep.resilience.store_events.empty());
   EXPECT_GT(rep.num_cases, 0u);
+}
+
+// --------------------------------------------------- cross-process locking
+
+/// Probes the store's advisory lock from a real second process (flock is
+/// per-open-file-description, so probing from the same process would lie):
+/// forks a child that tries a non-blocking flock on the lock file and
+/// reports via its exit code whether the lock was obtainable.
+int probe_lock_from_child(const fs::path& dir, int operation) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int fd =
+        ::open((dir / ".store.lock").c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) ::_exit(2);
+    const int rc = ::flock(fd, operation | LOCK_NB);
+    ::_exit(rc == 0 ? 0 : 1);  // 0 = acquired, 1 = would block
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : 2;
+}
+
+TEST_F(StorageTest, ExclusiveStoreLockBlocksOtherProcesses) {
+  {
+    StoreLock lease(dir_, /*exclusive=*/true);
+    ASSERT_TRUE(lease.held());
+    // While gc/verify_all would hold this, no other process may take the
+    // lock in either mode.
+    EXPECT_EQ(probe_lock_from_child(dir_, LOCK_SH), 1);
+    EXPECT_EQ(probe_lock_from_child(dir_, LOCK_EX), 1);
+  }
+  // Released on scope exit: the same probes now succeed.
+  EXPECT_EQ(probe_lock_from_child(dir_, LOCK_SH), 0);
+  EXPECT_EQ(probe_lock_from_child(dir_, LOCK_EX), 0);
+}
+
+TEST_F(StorageTest, SharedStoreLocksCoexistButExcludeSweeps) {
+  StoreLock writer(dir_, /*exclusive=*/false);
+  ASSERT_TRUE(writer.held());
+  // Another writer (shared) from a second process is fine...
+  EXPECT_EQ(probe_lock_from_child(dir_, LOCK_SH), 0);
+  // ...but an exclusive maintenance sweep must wait.
+  EXPECT_EQ(probe_lock_from_child(dir_, LOCK_EX), 1);
+}
+
+TEST_F(StorageTest, GcDoesNotRaceAConcurrentWriterProcess) {
+  ArtifactStore store(dir_);
+  ASSERT_TRUE(store.status().ok());
+  const std::string bytes = encode_scheme({2, {0x3ull, 0x5ull}});
+  ASSERT_TRUE(store.put("scheme-live", bytes).ok());
+
+  // A second process holds the writer (shared) lease mid-put; gc in this
+  // process must block until it releases rather than sweeping temp files
+  // out from under it. Child: hold LOCK_SH for 300ms, then exit.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const int fd =
+        ::open((dir_ / ".store.lock").c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) ::_exit(2);
+    if (::flock(fd, LOCK_SH) != 0) ::_exit(2);
+    ::usleep(300 * 1000);
+    ::_exit(0);
+  }
+  ::usleep(50 * 1000);  // let the child take the lease
+  const auto t0 = std::chrono::steady_clock::now();
+  const GcStats gc = store.gc();
+  const double waited_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  // gc ran only after the writer released (allow generous scheduling
+  // slack, but it must have waited a detectable amount).
+  EXPECT_GT(waited_ms, 100.0);
+  EXPECT_EQ(gc.tmp_removed, 0u);
+  EXPECT_TRUE(store.get_validated("scheme-live", ArtifactKind::kParityScheme)
+                  .has_value());
 }
 
 }  // namespace

@@ -33,9 +33,15 @@
 //      down the cascade, or --verify found violations) — still usable, the
 //      resilience report on stderr says exactly what happened
 //   2  invalid input (unreadable file, malformed KISS2, bad flags)
-//   3  internal error
+//   3  internal error — including interruption: Ctrl-C during `protect`
+//      trips the run's cooperative interrupt valve, so in-flight work
+//      checkpoints (with --store, completed shards are already durable and
+//      a rerun with --resume picks them up) and the process exits 3
+//      instead of dying mid-write
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -70,6 +76,34 @@ constexpr int kExitInternal = 3;
 /// blanket internal-error path.
 struct InvalidInputError : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+/// SIGINT handling for long runs: the handler only sets this flag (the one
+/// async-signal-safe thing it may do); the pipeline polls it through
+/// RunBudget.interrupt at every stage's deadline check, so interruption
+/// surfaces as an orderly truncated result, not a torn process.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_sigint(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+/// Installs the SIGINT handler for one run's scope; restores the previous
+/// disposition on exit so a second Ctrl-C after the run behaves normally.
+class ScopedSigint {
+ public:
+  ScopedSigint() {
+    struct sigaction sa = {};
+    sa.sa_handler = on_sigint;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, &prev_);
+  }
+  ~ScopedSigint() { ::sigaction(SIGINT, &prev_, nullptr); }
+  ScopedSigint(const ScopedSigint&) = delete;
+  ScopedSigint& operator=(const ScopedSigint&) = delete;
+
+ private:
+  struct sigaction prev_ = {};
 };
 
 int usage() {
@@ -339,7 +373,10 @@ int cmd_protect(int argc, char** argv) {
                                   : fsm::EncodingKind::kBinary)
       .threads(threads >= 1 ? threads : 0)
       .budget(budget_from_args(argc, argv))
-      .observe(sinks);
+      .observe(sinks)
+      .tune([](core::PipelineOptions& o) {
+        o.budget.interrupt = &g_interrupted;
+      });
   if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
     builder.semantics(core::DiffSemantics::kMachineLevel);
   }
@@ -355,6 +392,10 @@ int cmd_protect(int argc, char** argv) {
   if (!cfg) throw InvalidInputError(cfg.status().message);
   const core::PipelineOptions& opts = cfg->options();
 
+  // Armed for the duration of the run (synthesis through store flush):
+  // Ctrl-C trips the valve, the stages checkpoint and return truncated,
+  // and the manifest below still records what happened.
+  ScopedSigint sigint_guard;
   const core::PipelineReport rep = ced::run_pipeline(f, *cfg);
   const core::ResilienceReport& res = rep.resilience;
   if (res.status.code == StatusCode::kInvalidInput) {
@@ -476,6 +517,17 @@ int cmd_protect(int argc, char** argv) {
   if (explain) {
     std::fputs(obs::explain_tree(tracer.snapshot(), metrics.snapshot()).c_str(),
                stdout);
+  }
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    // Documented contract: interruption is exit 3. Everything durable
+    // (checkpoint shards, the manifest) was flushed above; stderr says how
+    // to pick the run back up.
+    std::fprintf(stderr,
+                 "interrupted: run stopped at the next valve check%s\n",
+                 store ? "; rerun with --store --resume to continue from the "
+                         "completed shards"
+                       : "");
+    return kExitInternal;
   }
   return (res.degraded() || verify_failed) ? kExitDegraded : kExitOk;
 }

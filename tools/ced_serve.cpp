@@ -1,0 +1,136 @@
+// ced_serve — the long-running protection daemon (DESIGN.md §12).
+//
+//   ced_serve [--socket=PATH] [--tcp-port=N] [--metrics-port=N]
+//             [--store=DIR] [--workers=N] [--queue-depth=N]
+//             [--threads-per-request=N] [--checkpoint-shards=N]
+//             [--degrade-on-overload] [--degraded-budget-seconds=F]
+//             [--default-deadline-seconds=F] [--drain-grace-seconds=F]
+//             [--chaos-job-delay-ms=N] [--chaos-shard-delay-ms=N]
+//
+// At least one of --socket / --tcp-port is required (--tcp-port=0 picks an
+// ephemeral port; same for --metrics-port=0). Once the listeners are up
+// the daemon prints exactly one machine-parsable line to stdout:
+//
+//   READY tcp=<port|-> metrics=<port|-> socket=<path|->
+//
+// and serves until SIGTERM or SIGINT, upon which it drains gracefully
+// (stop accepting, let in-flight work finish within the grace period or
+// checkpoint, answer queued requests with kDraining, flush manifests) and
+// exits 0. kill -9 is the tested crash path: a restart with the same
+// --store resumes cold extractions from their checkpoint shards.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void on_shutdown_signal(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+std::string arg_value(int argc, char** argv, const char* key,
+                      const char* fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ced_serve [--socket=PATH] [--tcp-port=N] [--metrics-port=N]\n"
+      "                 [--store=DIR] [--workers=N] [--queue-depth=N]\n"
+      "                 [--threads-per-request=N] [--checkpoint-shards=N]\n"
+      "                 [--degrade-on-overload] [--degraded-budget-seconds=F]\n"
+      "                 [--default-deadline-seconds=F] "
+      "[--drain-grace-seconds=F]\n"
+      "                 [--chaos-job-delay-ms=N] [--chaos-shard-delay-ms=N]\n"
+      "at least one of --socket / --tcp-port is required "
+      "(--tcp-port=0 = ephemeral)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help")) return usage();
+
+  ced::serve::ServerOptions opts;
+  opts.unix_socket = arg_value(argc, argv, "--socket", "");
+  opts.tcp_port = std::atoi(arg_value(argc, argv, "--tcp-port", "-1").c_str());
+  opts.metrics_port =
+      std::atoi(arg_value(argc, argv, "--metrics-port", "-1").c_str());
+  opts.store_dir = arg_value(argc, argv, "--store", "");
+  opts.workers = std::atoi(arg_value(argc, argv, "--workers", "2").c_str());
+  opts.queue_depth =
+      std::atoi(arg_value(argc, argv, "--queue-depth", "16").c_str());
+  opts.threads_per_request =
+      std::atoi(arg_value(argc, argv, "--threads-per-request", "1").c_str());
+  opts.checkpoint_shards =
+      std::atoi(arg_value(argc, argv, "--checkpoint-shards", "0").c_str());
+  opts.degrade_on_overload = has_flag(argc, argv, "--degrade-on-overload");
+  opts.degraded_budget_s = std::atof(
+      arg_value(argc, argv, "--degraded-budget-seconds", "0.5").c_str());
+  opts.default_deadline_s = std::atof(
+      arg_value(argc, argv, "--default-deadline-seconds", "0").c_str());
+  opts.drain_grace_s =
+      std::atof(arg_value(argc, argv, "--drain-grace-seconds", "5").c_str());
+  opts.chaos_job_delay_ms =
+      std::atoi(arg_value(argc, argv, "--chaos-job-delay-ms", "0").c_str());
+  opts.chaos_shard_delay_ms =
+      std::atoi(arg_value(argc, argv, "--chaos-shard-delay-ms", "0").c_str());
+  if (opts.unix_socket.empty() && opts.tcp_port < 0) return usage();
+
+  // Signals before start(): a supervisor that SIGTERMs immediately after
+  // fork must still get a drain, not the default kill.
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  ced::serve::Server server(opts);
+  const ced::Status st = server.start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "ced_serve: %s\n", st.to_text().c_str());
+    return 1;
+  }
+
+  std::printf("READY tcp=%s metrics=%s socket=%s\n",
+              server.tcp_port() >= 0 ? std::to_string(server.tcp_port()).c_str()
+                                     : "-",
+              server.metrics_port() >= 0
+                  ? std::to_string(server.metrics_port()).c_str()
+                  : "-",
+              opts.unix_socket.empty() ? "-" : opts.unix_socket.c_str());
+  std::fflush(stdout);
+
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "ced_serve: draining\n");
+  server.drain();
+  std::fprintf(stderr, "ced_serve: drained, exiting\n");
+  return 0;
+}

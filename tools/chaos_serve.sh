@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+# Deterministic chaos harness for ced_serve (ISSUE 6 acceptance): every
+# failure the daemon claims to survive is injected here for real, from
+# outside the process —
+#
+#   1. kill -9 mid-cold-extraction, restart, retry: the retried request
+#      must resume from the persisted checkpoint shards and produce
+#      parities byte-identical to a direct `ced_cli protect` of the same
+#      machine (the crash must cost time, never answers).
+#   2. queue saturation: overflow requests get a structured kOverloaded
+#      (exit 3 with an 'overloaded' diagnostic), the daemon never crashes.
+#   3. SIGTERM drain: the daemon stops accepting, finishes in-flight work,
+#      stores its manifest, and exits 0.
+#   4. wire garbage: oversized length prefixes, garbage JSON, and a client
+#      that disconnects mid-frame — all answered structurally or absorbed.
+#   5. store corruption: a flipped byte in a cached artifact is
+#      quarantined and recomputed, and the answer still matches.
+#
+# Usage: tools/chaos_serve.sh [BUILD_DIR]   (default: build)
+# Exits 0 only if every scenario holds.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SERVE="$BUILD/tools/ced_serve"
+CLIENT="$BUILD/tools/ced_client"
+CLI="$BUILD/tools/ced_cli"
+[[ -x "$SERVE" && -x "$CLIENT" && -x "$CLI" ]] \
+  || { echo "chaos: binaries missing under $BUILD/tools"; exit 1; }
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() { echo "chaos: FAIL — $1"; exit 1; }
+
+# Starts the daemon with the given extra flags; sets $daemon_pid and $port.
+start_daemon() {
+  : > "$tmp/daemon.out"
+  "$SERVE" --tcp-port=0 --metrics-port=0 "$@" > "$tmp/daemon.out" 2>> "$tmp/daemon.err" &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    if grep -q '^READY' "$tmp/daemon.out" 2>/dev/null; then break; fi
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon died on startup"
+    sleep 0.05
+  done
+  grep -q '^READY' "$tmp/daemon.out" || fail "daemon never became ready"
+  port=$(sed -n 's/^READY tcp=\([0-9]*\).*/\1/p' "$tmp/daemon.out")
+  [[ -n "$port" ]] || fail "could not parse daemon port"
+}
+
+# A machine big enough that extraction takes multiple checkpoint shards.
+"$CLI" generate --states=24 --inputs=3 --outputs=2 --seed=5 > "$tmp/m.kiss"
+
+echo "chaos: reference run (direct ced_cli protect)"
+"$CLI" protect "$tmp/m.kiss" --latency=3 --store="$tmp/ref-store" \
+    > "$tmp/ref.out"
+grep 'mask' "$tmp/ref.out" > "$tmp/ref.masks"
+[[ -s "$tmp/ref.masks" ]] || fail "reference run produced no parities"
+
+echo "chaos: scenario 1 — kill -9 mid-cold-extraction, restart, resume"
+# The per-shard delay stretches extraction so the kill lands mid-flight.
+start_daemon --store="$tmp/store" --checkpoint-shards=8 \
+    --chaos-shard-delay-ms=120
+"$CLIENT" protect "$tmp/m.kiss" --tcp-port="$port" --latency=3 --retries=1 \
+    > "$tmp/doomed.out" 2>&1 &
+doomed=$!
+sleep 0.6                   # a few shards persist; extraction is not done
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+wait "$doomed" && fail "client succeeded against a kill -9'd daemon" || true
+shards=$(find "$tmp/store" -name 'shard-*.ced' | wc -l)
+[[ "$shards" -gt 0 ]] || fail "no checkpoint shards survived the crash"
+echo "chaos:   $shards shard checkpoints survived, restarting"
+start_daemon --store="$tmp/store" --checkpoint-shards=8
+"$CLIENT" protect "$tmp/m.kiss" --tcp-port="$port" --latency=3 \
+    > "$tmp/resumed.out"
+grep 'mask' "$tmp/resumed.out" > "$tmp/resumed.masks"
+diff -u "$tmp/ref.masks" "$tmp/resumed.masks" \
+  || fail "post-crash resume changed the parities"
+kill -TERM "$daemon_pid"; wait "$daemon_pid" || fail "drain exit != 0"
+daemon_pid=""
+
+echo "chaos: scenario 2 — queue saturation answers kOverloaded, no crash"
+start_daemon --store="$tmp/store2" --workers=1 --queue-depth=1 \
+    --chaos-job-delay-ms=600
+pids=()
+for seed in 1 2 3 4 5; do
+  "$CLIENT" protect "$tmp/m.kiss" --tcp-port="$port" --latency=2 \
+      --request-seed="$seed" --retries=1 > "$tmp/sat.$seed.out" 2>&1 &
+  pids+=($!)
+  sleep 0.05
+done
+overloaded=0
+for i in "${!pids[@]}"; do
+  wait "${pids[$i]}" || true
+  grep -qi 'overloaded' "$tmp/sat.$((i + 1)).out" && overloaded=$((overloaded + 1))
+done
+[[ "$overloaded" -gt 0 ]] || fail "saturation never produced kOverloaded"
+kill -0 "$daemon_pid" || fail "daemon crashed under saturation"
+"$CLIENT" health --tcp-port="$port" | grep -q 'state=ready' \
+  || fail "daemon unhealthy after saturation"
+echo "chaos:   $overloaded/5 requests pushed back with kOverloaded"
+kill -TERM "$daemon_pid"; wait "$daemon_pid" || fail "drain exit != 0"
+daemon_pid=""
+
+echo "chaos: scenario 3 — SIGTERM drains, stores manifest, exits 0"
+start_daemon --store="$tmp/store3" --chaos-job-delay-ms=300 \
+    --drain-grace-seconds=10
+"$CLIENT" protect "$tmp/m.kiss" --tcp-port="$port" --latency=2 \
+    > "$tmp/inflight.out" 2>&1 &
+inflight=$!
+sleep 0.15                  # request admitted, job started
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "SIGTERM drain exited nonzero"
+daemon_pid=""
+wait "$inflight" || fail "in-flight request was dropped by the drain"
+grep -q 'mask' "$tmp/inflight.out" || fail "drained request lost its answer"
+manifests=$(find "$tmp/store3" -name 'man-*.ced' | wc -l)
+[[ "$manifests" -gt 0 ]] || fail "drain did not store the in-flight manifest"
+
+echo "chaos: scenario 4 — wire garbage and mid-frame disconnects"
+start_daemon --store="$tmp/store4"
+python3 - "$port" <<'PYEOF'
+import json, socket, struct, sys
+port = int(sys.argv[1])
+
+def frame(payload: bytes) -> bytes:
+    return struct.pack(">I", len(payload)) + payload
+
+def roundtrip(raw: bytes):
+    s = socket.create_connection(("127.0.0.1", port), timeout=5)
+    s.sendall(raw)
+    hdr = s.recv(4)
+    assert len(hdr) == 4, "daemon closed without a structured answer"
+    n = struct.unpack(">I", hdr)[0]
+    body = b""
+    while len(body) < n:
+        chunk = s.recv(n - len(body))
+        assert chunk, "short response frame"
+        body += chunk
+    s.close()
+    return json.loads(body)
+
+# Garbage JSON, invalid UTF-8, and a lying length prefix: each must earn a
+# structured invalid-input response, never a dropped connection.
+assert roundtrip(frame(b"complete garbage"))["status"] == "invalid-input"
+assert roundtrip(frame(b'{"op":"protect","kiss":"\xff\xfe"}'))["status"] == "invalid-input"
+assert roundtrip(struct.pack(">I", 0x7FFFFFFF))["status"] == "invalid-input"
+
+# Mid-frame disconnect: declare 100 bytes, send 10, vanish. The daemon
+# must absorb it (asserted by the health probe below).
+s = socket.create_connection(("127.0.0.1", port), timeout=5)
+s.sendall(struct.pack(">I", 100) + b"ten bytes!")
+s.close()
+print("wire attacks: all answered structurally")
+PYEOF
+"$CLIENT" health --tcp-port="$port" | grep -q 'state=ready' \
+  || fail "daemon unhealthy after wire garbage"
+kill -TERM "$daemon_pid"; wait "$daemon_pid" || fail "drain exit != 0"
+daemon_pid=""
+
+echo "chaos: scenario 5 — store corruption is quarantined and recomputed"
+start_daemon --store="$tmp/store5"
+"$CLIENT" protect "$tmp/m.kiss" --tcp-port="$port" --latency=3 \
+    > "$tmp/first.out"
+grep 'mask' "$tmp/first.out" > "$tmp/first.masks"
+diff -u "$tmp/ref.masks" "$tmp/first.masks" >/dev/null \
+  || fail "pre-corruption answer already wrong"
+# Flip one byte in every cached artifact: warm loads must all detect it.
+for f in "$tmp/store5"/*.ced; do
+  printf '\x5a' | dd of="$f" bs=1 seek=12 count=1 conv=notrunc 2>/dev/null
+done
+"$CLIENT" protect "$tmp/m.kiss" --tcp-port="$port" --latency=3 \
+    > "$tmp/after.out"
+grep 'mask' "$tmp/after.out" > "$tmp/after.masks"
+diff -u "$tmp/ref.masks" "$tmp/after.masks" \
+  || fail "corruption changed the answer instead of being recomputed"
+ls "$tmp/store5/quarantine"/*.ced >/dev/null 2>&1 \
+  || fail "corrupt artifacts were not quarantined"
+kill -TERM "$daemon_pid"; wait "$daemon_pid" || fail "drain exit != 0"
+daemon_pid=""
+
+echo "chaos: all scenarios green"

@@ -37,7 +37,8 @@ echo "== obs smoke: exporters parse, q unaffected =="
 # the printed parities are identical (the exports add information, never
 # perturb the answer).
 obs_tmp=$(mktemp -d)
-trap 'rm -rf "$obs_tmp"' EXIT
+serve_pid=""
+trap '[[ -n "$serve_pid" ]] && kill -9 "$serve_pid" 2>/dev/null; rm -rf "$obs_tmp"' EXIT
 ./build/tools/ced_cli generate --suite=s1488 > "$obs_tmp/s1488.kiss"
 ./build/tools/ced_cli protect "$obs_tmp/s1488.kiss" --latency=2 --threads=4 \
     > "$obs_tmp/plain.out"
@@ -61,6 +62,56 @@ grep -E 'q=|mask' "$obs_tmp/obs.out" > "$obs_tmp/obs.q"
 diff -u "$obs_tmp/plain.q" "$obs_tmp/obs.q" \
   || { echo "obs run changed q/parities"; exit 1; }
 
+echo "== serve smoke: cold/warm protect, metrics endpoint, drain =="
+# The daemon must agree with the CLI (same q and parities for the same
+# machine), serve the repeat request from the store, expose Prometheus
+# metrics over HTTP, and exit 0 on a SIGTERM drain.
+./build/tools/ced_cli generate --states=16 --inputs=3 --outputs=2 --seed=11 \
+    > "$obs_tmp/serve.kiss"
+./build/tools/ced_serve --tcp-port=0 --metrics-port=0 \
+    --store="$obs_tmp/serve-store" > "$obs_tmp/serve.ready" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q '^READY' "$obs_tmp/serve.ready" 2>/dev/null && break
+  sleep 0.05
+done
+sport=$(sed -n 's/^READY tcp=\([0-9]*\).*/\1/p' "$obs_tmp/serve.ready")
+mport=$(sed -n 's/^READY.*metrics=\([0-9]*\).*/\1/p' "$obs_tmp/serve.ready")
+[[ -n "$sport" && -n "$mport" ]] || { echo "ced_serve never became ready"; exit 1; }
+./build/tools/ced_client protect "$obs_tmp/serve.kiss" --tcp-port="$sport" \
+    --latency=3 > "$obs_tmp/serve-cold.out"
+./build/tools/ced_client protect "$obs_tmp/serve.kiss" --tcp-port="$sport" \
+    --latency=3 > "$obs_tmp/serve-warm.out"
+grep -q '\[cached\]' "$obs_tmp/serve-warm.out" \
+  || { echo "repeat protect was not served from the store"; exit 1; }
+./build/tools/ced_cli protect "$obs_tmp/serve.kiss" --latency=3 \
+    > "$obs_tmp/serve-direct.out"
+for f in serve-cold serve-warm serve-direct; do
+  grep -E 'q=|mask' "$obs_tmp/$f.out" | sed 's/ \[[a-z]*\]//g' \
+      > "$obs_tmp/$f.q"
+done
+diff -u "$obs_tmp/serve-direct.q" "$obs_tmp/serve-cold.q" \
+  || { echo "daemon q/parities diverge from ced_cli"; exit 1; }
+diff -u "$obs_tmp/serve-cold.q" "$obs_tmp/serve-warm.q" \
+  || { echo "warm answer diverges from cold"; exit 1; }
+python3 - "$mport" <<'PYEOF'
+import sys, urllib.request
+url = "http://127.0.0.1:%s/metrics" % sys.argv[1]
+text = urllib.request.urlopen(url, timeout=5).read().decode()
+def counter(name):
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    raise AssertionError("metric %s missing from scrape" % name)
+assert counter("ced_serve_cold_misses_total") == 1, "expected exactly 1 cold miss"
+assert counter("ced_serve_warm_hits_total") == 1, "expected exactly 1 warm hit"
+assert any(l.startswith("# TYPE") for l in text.splitlines()), "no TYPE lines"
+print("metrics scrape: 1 cold miss, 1 warm hit")
+PYEOF
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "SIGTERM drain exited nonzero"; exit 1; }
+serve_pid=""
+
 echo "== deprecation gate: in-tree code uses only the new API =="
 # The old core::run_pipeline / core::run_latency_sweep signatures are
 # [[deprecated]] shims. Recompile everything with the warning promoted to
@@ -83,9 +134,15 @@ echo "== sanitizers: TSan (CED_THREADS=4) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 if [[ "$fast" == 1 ]]; then
-  ctest --preset tsan -j "$jobs" -R 'Parallel|Resilience|Pipeline|Resume'
+  ctest --preset tsan -j "$jobs" -R 'Parallel|Resilience|Pipeline|Resume|Serve'
 else
   ctest --preset tsan -j "$jobs"
 fi
+
+echo "== chaos: crash/overload/drain harness against the TSan daemon =="
+# Run the full chaos suite (kill -9 + resume, saturation, drain, wire
+# garbage, store corruption) against the TSan-instrumented binaries so
+# every recovery path is also a data-race check.
+tools/chaos_serve.sh build-tsan
 
 echo "ci: all green"
