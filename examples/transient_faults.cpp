@@ -2,10 +2,10 @@
 // the fault persisting for at least p clock cycles after causing an error.
 // Permanent and wear-out intermittent faults qualify; single-event upsets
 // (SEUs) do not. This example enumerates every activation scenario
-// (fault, reachable state, input) of a p=2 protected design and replays it
-// twice — once with the fault lasting a single cycle, once persisting —
-// showing that exactly the step-2-reliant error patterns escape the
-// single-cycle case.
+// (fault, reachable state, input) of a p=2 protected design via the
+// exhaustive campaign engine and replays it with three fault durations —
+// a single cycle, p cycles, and persistent — showing that exactly the
+// step-2-reliant error patterns escape the single-cycle case.
 
 #include <cstdio>
 #include <vector>
@@ -13,9 +13,8 @@
 #include "benchdata/suite.hpp"
 #include "core/extract.hpp"
 #include "core/parity.hpp"
-#include "core/rng.hpp"
 #include "core/run.hpp"
-#include "sim/fault_sim.hpp"
+#include "sim/campaign.hpp"
 
 using namespace ced;
 
@@ -28,54 +27,27 @@ struct Outcome {
   std::size_t escaped = 0;
 };
 
-/// Replays one activation (fault at state `c` under input `a`) with the
-/// fault active for `duration` cycles; follows every input for up to
-/// `bound` further steps (exhaustive tree, the bound is small).
-bool detected_within(const fsm::FsmCircuit& circuit,
-                     const core::CedHardware& hw, const logic::Injection& inj,
-                     std::uint64_t state, int steps_left, int age,
-                     int duration) {
-  if (steps_left == 0) return false;
-  const std::uint64_t inputs = std::uint64_t{1} << circuit.r();
-  for (std::uint64_t a = 0; a < inputs; ++a) {
-    const bool active = age < duration;
-    const std::uint64_t obs = circuit.eval(a, state, active ? &inj : nullptr);
-    if (hw.error_asserted(a, state, obs)) continue;  // this path is caught
-    // Not detected on this input: must be caught deeper (within bound).
-    if (!detected_within(circuit, hw, inj, circuit.next_state_of(obs),
-                         steps_left - 1, age + 1, duration)) {
-      return false;
-    }
-  }
-  return true;
-}
-
+/// Exhaustive campaign with the fault active for `duration` cycles after
+/// each activation. horizon == bound, so every activation not caught
+/// within the bound lands in silent_escape — the example's "ESCAPED".
 Outcome measure(const fsm::FsmCircuit& circuit, const core::CedHardware& hw,
                 const std::vector<sim::StuckAtFault>& faults, int bound,
                 int duration) {
+  sim::CampaignOptions opts;
+  opts.model = sim::FaultModel::kStuckAt;
+  opts.policy = sim::CampaignPolicy::kExhaustive;
+  opts.latency_bound = bound;
+  opts.horizon = bound;
+  opts.persistence = duration;
+  const sim::CampaignReport rep =
+      sim::run_campaign(circuit, hw, faults, opts);
   Outcome out;
-  const auto reachable = sim::reachable_codes(circuit, circuit.enc.reset_code);
-  const std::uint64_t inputs = std::uint64_t{1} << circuit.r();
-  for (const auto& f : faults) {
-    const logic::Injection inj = f.injection();
-    for (std::uint64_t c : reachable) {
-      for (std::uint64_t a = 0; a < inputs; ++a) {
-        const std::uint64_t obs_f = circuit.eval(a, c, &inj);
-        if (obs_f == circuit.eval(a, c)) continue;  // no activation here
-        ++out.scenarios;
-        if (hw.error_asserted(a, c, obs_f)) {
-          ++out.caught_at_activation;
-          continue;
-        }
-        if (detected_within(circuit, hw, inj, circuit.next_state_of(obs_f),
-                            bound - 1, 1, duration)) {
-          ++out.caught_later;
-        } else {
-          ++out.escaped;
-        }
-      }
-    }
-  }
+  out.scenarios = static_cast<std::size_t>(rep.activations);
+  out.caught_at_activation = static_cast<std::size_t>(rep.histogram[0]);
+  out.caught_later =
+      static_cast<std::size_t>(rep.detected_in_bound - rep.histogram[0]);
+  out.escaped =
+      static_cast<std::size_t>(rep.detected_late + rep.silent_escape);
   return out;
 }
 

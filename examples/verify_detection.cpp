@@ -1,8 +1,9 @@
 // Sequential demonstration of the bounded-latency guarantee: builds the
 // full Fig. 3 architecture for a suite circuit, injects every stuck-at
-// fault, drives random input walks, and prints the distribution of observed
-// detection latencies (how many activations were caught after 1, 2, ... p
-// transitions), confirming none exceeds the bound.
+// fault, drives random input walks through the campaign engine, and prints
+// the distribution of observed detection latencies (how many activations
+// were caught after 1, 2, ... p transitions), confirming none exceeds the
+// bound.
 //
 // Usage: verify_detection [suite-circuit-name] [latency]   (default: dk16 2)
 
@@ -10,9 +11,8 @@
 #include <string>
 
 #include "benchdata/suite.hpp"
-#include "core/rng.hpp"
 #include "core/run.hpp"
-#include "core/verify.hpp"
+#include "sim/campaign.hpp"
 
 int main(int argc, char** argv) {
   using namespace ced;
@@ -36,56 +36,32 @@ int main(int argc, char** argv) {
   const core::CedHardware hw =
       core::synthesize_ced(circuit, rep.parities, opts.ced);
 
-  // Histogram of detection latencies over random walks.
-  std::size_t histogram[core::kMaxLatency + 2] = {};
-  std::size_t violations = 0;
-  core::Rng rng(0xd15ea5e);
-  const auto reachable = sim::reachable_codes(circuit, circuit.enc.reset_code);
-  const std::uint64_t input_mask = (std::uint64_t{1} << circuit.r()) - 1;
-
-  for (const auto& f : faults) {
-    const logic::Injection inj = f.injection();
-    for (int w = 0; w < 6; ++w) {
-      std::uint64_t state = reachable[(f.net + static_cast<std::uint64_t>(w)) %
-                                      reachable.size()];
-      int pending = -1;
-      for (int t = 0; t < 80; ++t) {
-        const std::uint64_t a = rng.next() & input_mask;
-        const std::uint64_t obs = circuit.eval(a, state, &inj);
-        const bool err = hw.error_asserted(a, state, obs);
-        const bool diff = obs != circuit.eval(a, state);
-        if (diff && pending < 0) pending = t;
-        if (err) {
-          if (pending >= 0) {
-            const int lat = t - pending + 1;
-            if (lat <= p) {
-              ++histogram[lat];
-            } else {
-              ++violations;
-            }
-            pending = -1;
-          }
-          state = circuit.enc.reset_code;  // system-level recovery
-          continue;
-        }
-        if (pending >= 0 && t - pending + 1 >= p) {
-          ++violations;
-          pending = -1;
-          state = circuit.enc.reset_code;
-          continue;
-        }
-        state = circuit.next_state_of(obs);
-      }
-    }
-  }
+  // Persistent stuck-at campaign on random input walks: every fault walked
+  // from every reachable activation state, detection past the bound counts
+  // as a violation (horizon == p, so detected_late cannot occur and any
+  // slower episode lands in silent_escape).
+  sim::CampaignOptions copts;
+  copts.model = sim::FaultModel::kStuckAt;
+  copts.policy = sim::CampaignPolicy::kRandomWalks;
+  copts.latency_bound = p;
+  copts.horizon = p;
+  copts.walks = 4;
+  copts.walk_length = 80;
+  copts.seed = 0xd15ea5e;
+  const sim::CampaignReport report =
+      sim::run_campaign(circuit, hw, faults, copts);
+  const std::size_t violations =
+      static_cast<std::size_t>(report.detected_late + report.silent_escape);
 
   std::printf("\ndetection-latency histogram (transitions from activation):\n");
-  std::size_t total = 0;
-  for (int l = 1; l <= p; ++l) total += histogram[l];
+  const std::uint64_t total = report.detected_in_bound;
   for (int l = 1; l <= p; ++l) {
+    const std::uint64_t h = report.histogram[static_cast<std::size_t>(l - 1)];
     std::printf("  %d cycle%s: %8zu (%.1f%%)\n", l, l == 1 ? " " : "s",
-                histogram[l],
-                total ? 100.0 * histogram[l] / static_cast<double>(total) : 0);
+                static_cast<std::size_t>(h),
+                total ? 100.0 * static_cast<double>(h) /
+                            static_cast<double>(total)
+                      : 0);
   }
   std::printf("violations of the bound: %zu -> %s\n", violations,
               violations == 0 ? "GUARANTEE HOLDS" : "FAILED");

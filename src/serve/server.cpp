@@ -335,9 +335,15 @@ void Server::conn_loop(int fd) {
     }
     if (!write_frame(fd, encode_response(resp)).ok()) break;
   }
+  {
+    // Deregister before closing: once close() returns, accept() may hand
+    // the same fd number to a new connection, and erasing afterwards
+    // would drop *that* connection's registration — close_all_connections
+    // would then never wake its handler and drain() would join forever.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  conn_fds_.erase(fd);
 }
 
 void Server::close_all_connections() {

@@ -1,5 +1,6 @@
 #include "sim/faults.hpp"
 
+#include <algorithm>
 #include <array>
 
 namespace ced::sim {
@@ -53,6 +54,15 @@ std::vector<StuckAtFault> enumerate_stuck_at(const logic::Netlist& n,
     if (!drop[id][0]) faults.push_back(StuckAtFault{id, false});
     if (!drop[id][1]) faults.push_back(StuckAtFault{id, true});
   }
+  // Canonical order is a documented contract (see the header): extraction
+  // and campaign digests hash this list and resume checkpoints shard it by
+  // position, so the order must survive refactors of the collapse pass —
+  // enforce it explicitly rather than relying on the emission loop above.
+  std::sort(faults.begin(), faults.end(),
+            [](const StuckAtFault& a, const StuckAtFault& b) {
+              return a.net != b.net ? a.net < b.net
+                                    : a.stuck_value < b.stuck_value;
+            });
   return faults;
 }
 

@@ -34,6 +34,12 @@ struct FaultListOptions {
 /// Enumerates stuck-at-0/1 faults on every net of `n` except constants.
 /// With collapsing enabled, faults provably equivalent to an already-listed
 /// fault are dropped (the returned list still dominates full coverage).
+///
+/// The returned list is in *canonical order* — ascending net id, SA0 before
+/// SA1 — independent of collapse decisions, platform, or enumeration
+/// internals. This order is a contract: extraction and campaign artifact
+/// digests hash the list and resume checkpoints partition it by position,
+/// so reordering it invalidates every content-addressed cache key.
 std::vector<StuckAtFault> enumerate_stuck_at(const logic::Netlist& n,
                                              const FaultListOptions& opts = {});
 

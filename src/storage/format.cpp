@@ -25,6 +25,8 @@ constexpr std::uint32_t kTagShard = tag4('S', 'H', 'R', 'D');
 constexpr std::uint32_t kTagScheme = tag4('S', 'C', 'H', 'M');
 constexpr std::uint32_t kTagReport = tag4('R', 'E', 'P', 'T');
 constexpr std::uint32_t kTagManifest = tag4('M', 'A', 'N', 'F');
+constexpr std::uint32_t kTagCampaignShard = tag4('C', 'S', 'H', 'D');
+constexpr std::uint32_t kTagCampaignReport = tag4('C', 'R', 'P', 'T');
 
 Status corrupt(const std::string& what) {
   return Status::invalid_input(Stage::kStore, what);
@@ -110,6 +112,8 @@ const char* to_string(ArtifactKind k) {
     case ArtifactKind::kReport: return "report";
     case ArtifactKind::kShard: return "shard";
     case ArtifactKind::kManifest: return "manifest";
+    case ArtifactKind::kCampaignShard: return "campaign-shard";
+    case ArtifactKind::kCampaignReport: return "campaign-report";
   }
   return "?";
 }
@@ -885,6 +889,147 @@ Result<ManifestArtifact> decode_manifest(std::string_view bytes) {
   }
   if (!r.at_end()) return corrupt("manifest has extra bytes");
   return m;
+}
+
+// ----------------------------------------------------------- campaigns
+
+namespace {
+
+void put_verdict(ByteWriter& w, const sim::FaultVerdict& v) {
+  w.u64(v.unit);
+  w.u64(v.activations);
+  w.u64(v.detected_in_bound);
+  w.u64(v.detected_late);
+  w.u64(v.silent_escape);
+  w.u32(static_cast<std::uint32_t>(v.max_latency));
+  w.u32(static_cast<std::uint32_t>(v.histogram.size()));
+  for (const std::uint64_t h : v.histogram) w.u64(h);
+}
+
+bool get_verdict(ByteReader& r, sim::FaultVerdict& v) {
+  v.unit = r.u64();
+  v.activations = r.u64();
+  v.detected_in_bound = r.u64();
+  v.detected_late = r.u64();
+  v.silent_escape = r.u64();
+  v.max_latency = static_cast<int>(r.u32());
+  const std::uint32_t hist = r.u32();
+  if (!r.ok() || hist > 64) return false;
+  v.histogram.reserve(hist);
+  for (std::uint32_t i = 0; i < hist; ++i) v.histogram.push_back(r.u64());
+  return r.ok();
+}
+
+}  // namespace
+
+std::string encode_campaign_shard(const sim::CampaignShard& shard) {
+  ArtifactWriter art(ArtifactKind::kCampaignShard);
+  ByteWriter w;
+  w.u32(shard.index);
+  w.u32(shard.num_shards);
+  w.u64(shard.verdicts.size());
+  for (const sim::FaultVerdict& v : shard.verdicts) put_verdict(w, v);
+  art.section(kTagCampaignShard, w.take());
+  return art.seal();
+}
+
+Result<sim::CampaignShard> decode_campaign_shard(std::string_view bytes) {
+  auto art = ArtifactReader::open(bytes, ArtifactKind::kCampaignShard);
+  if (!art) return art.status();
+  auto payload = art->section(kTagCampaignShard);
+  if (!payload) return payload.status();
+  ByteReader r(*payload);
+  sim::CampaignShard shard;
+  shard.index = r.u32();
+  shard.num_shards = r.u32();
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || shard.index >= shard.num_shards || count > (1u << 24)) {
+    return corrupt("campaign shard header malformed");
+  }
+  shard.verdicts.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!get_verdict(r, shard.verdicts[i])) {
+      return corrupt("campaign shard verdict malformed");
+    }
+  }
+  if (!r.at_end()) return corrupt("campaign shard has extra bytes");
+  return shard;
+}
+
+std::string encode_campaign_report(const sim::CampaignReport& rep) {
+  ArtifactWriter art(ArtifactKind::kCampaignReport);
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(rep.model));
+  w.u32(static_cast<std::uint32_t>(rep.policy));
+  w.u32(static_cast<std::uint32_t>(rep.latency_bound));
+  w.u32(static_cast<std::uint32_t>(rep.horizon));
+  w.u32(static_cast<std::uint32_t>(rep.persistence));
+  w.u32(static_cast<std::uint32_t>(rep.flip_bits));
+  w.u32(static_cast<std::uint32_t>(rep.walks));
+  w.u32(static_cast<std::uint32_t>(rep.walk_length));
+  w.u64(rep.seed);
+  w.u64(rep.num_units);
+  w.u64(rep.activations);
+  w.u64(rep.detected_in_bound);
+  w.u64(rep.detected_late);
+  w.u64(rep.silent_escape);
+  w.u64(rep.benign_units);
+  w.u32(static_cast<std::uint32_t>(rep.max_latency));
+  w.u32(static_cast<std::uint32_t>(rep.histogram.size()));
+  for (const std::uint64_t h : rep.histogram) w.u64(h);
+  w.u8(rep.truncated ? 1 : 0);
+  w.str(rep.truncation_reason);
+  w.u64(rep.verdicts.size());
+  for (const sim::FaultVerdict& v : rep.verdicts) put_verdict(w, v);
+  art.section(kTagCampaignReport, w.take());
+  return art.seal();
+}
+
+Result<sim::CampaignReport> decode_campaign_report(std::string_view bytes) {
+  auto art = ArtifactReader::open(bytes, ArtifactKind::kCampaignReport);
+  if (!art) return art.status();
+  auto payload = art->section(kTagCampaignReport);
+  if (!payload) return payload.status();
+  ByteReader r(*payload);
+  sim::CampaignReport rep;
+  const std::uint32_t model = r.u32();
+  const std::uint32_t policy = r.u32();
+  rep.latency_bound = static_cast<int>(r.u32());
+  rep.horizon = static_cast<int>(r.u32());
+  rep.persistence = static_cast<int>(r.u32());
+  rep.flip_bits = static_cast<int>(r.u32());
+  rep.walks = static_cast<int>(r.u32());
+  rep.walk_length = static_cast<int>(r.u32());
+  rep.seed = r.u64();
+  rep.num_units = r.u64();
+  rep.activations = r.u64();
+  rep.detected_in_bound = r.u64();
+  rep.detected_late = r.u64();
+  rep.silent_escape = r.u64();
+  rep.benign_units = r.u64();
+  rep.max_latency = static_cast<int>(r.u32());
+  if (!r.ok() || model > 2 || policy > 1) {
+    return corrupt("campaign report header malformed");
+  }
+  rep.model = static_cast<sim::FaultModel>(model);
+  rep.policy = static_cast<sim::CampaignPolicy>(policy);
+  const std::uint32_t hist = r.u32();
+  if (!r.ok() || hist > 64) return corrupt("campaign report histogram malformed");
+  for (std::uint32_t i = 0; i < hist; ++i) rep.histogram.push_back(r.u64());
+  rep.truncated = r.u8() != 0;
+  rep.truncation_reason = r.str();
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count > (1u << 24)) {
+    return corrupt("campaign report verdict count malformed");
+  }
+  rep.verdicts.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!get_verdict(r, rep.verdicts[i])) {
+      return corrupt("campaign report verdict malformed");
+    }
+  }
+  if (!r.at_end()) return corrupt("campaign report has extra bytes");
+  return rep;
 }
 
 }  // namespace ced::storage

@@ -29,6 +29,7 @@
 #include "core/pipeline.hpp"
 #include "fsm/synthesize.hpp"
 #include "obs/trace.hpp"
+#include "sim/campaign.hpp"
 #include "sim/faults.hpp"
 
 namespace ced::storage {
@@ -44,6 +45,8 @@ enum class ArtifactKind : std::uint16_t {
   kReport = 5,
   kShard = 6,
   kManifest = 7,
+  kCampaignShard = 8,
+  kCampaignReport = 9,
 };
 
 const char* to_string(ArtifactKind k);
@@ -188,5 +191,14 @@ struct ManifestArtifact {
 
 std::string encode_manifest(const ManifestArtifact& m);
 Result<ManifestArtifact> decode_manifest(std::string_view bytes);
+
+/// Campaign checkpoint shard / verdict sheet round-trips. Like every other
+/// codec these are canonical (encode(decode(bytes)) == bytes), which is
+/// what the campaign's byte-identity acceptance checks compare.
+std::string encode_campaign_shard(const sim::CampaignShard& shard);
+Result<sim::CampaignShard> decode_campaign_shard(std::string_view bytes);
+
+std::string encode_campaign_report(const sim::CampaignReport& rep);
+Result<sim::CampaignReport> decode_campaign_report(std::string_view bytes);
 
 }  // namespace ced::storage

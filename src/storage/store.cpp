@@ -204,6 +204,18 @@ GcStats ArtifactStore::gc() {
       ++stats.stale_shards_removed;
     }
   }
+  // Same for campaign checkpoints: cshard-<key>-NNN is superseded by the
+  // finished verdict sheet camp-<key>.
+  for (const std::string& name : list()) {
+    if (name.rfind("cshard-", 0) != 0) continue;
+    const std::size_t dash = name.rfind('-');
+    if (dash == std::string::npos || dash <= 7) continue;
+    const std::string key = name.substr(7, dash - 7);
+    if (exists(campaign_report_name(key))) {
+      remove(name);
+      ++stats.stale_shards_removed;
+    }
+  }
   return stats;
 }
 
@@ -313,5 +325,65 @@ Result<ManifestArtifact> load_manifest(ArtifactStore& store,
   if (!manifest) store.discard_corrupt(name, manifest.status().message);
   return manifest;
 }
+
+// ------------------------------------------------------------ campaigns
+
+std::string campaign_report_name(const std::string& key) {
+  return "camp-" + key;
+}
+
+std::string campaign_shard_name(const std::string& key, std::uint32_t index) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "-%03u", index);
+  return "cshard-" + key + suffix;
+}
+
+sim::CampaignCheckpointHooks make_campaign_hooks(ArtifactStore& store,
+                                                 const std::string& key) {
+  sim::CampaignCheckpointHooks hooks;
+  hooks.load = [&store, key](std::uint32_t shard, std::uint32_t num_shards,
+                             sim::CampaignShard& out) {
+    const std::string name = campaign_shard_name(key, shard);
+    auto bytes = store.get_validated(name, ArtifactKind::kCampaignShard);
+    if (!bytes) return false;
+    auto decoded = decode_campaign_shard(*bytes);
+    if (!decoded) {
+      store.discard_corrupt(name, decoded.status().message);
+      return false;
+    }
+    if (decoded->index != shard || decoded->num_shards != num_shards) {
+      store.discard_corrupt(name, "campaign shard identity mismatch");
+      return false;
+    }
+    out = std::move(*decoded);
+    return true;
+  };
+  hooks.save = [&store, key](const sim::CampaignShard& shard) {
+    store.put(campaign_shard_name(key, shard.index),
+              encode_campaign_shard(shard));
+  };
+  return hooks;
+}
+
+void drop_campaign_shards(ArtifactStore& store, const std::string& key) {
+  for (const std::string& name : store.list()) {
+    if (name.rfind("cshard-" + key + "-", 0) == 0) store.remove(name);
+  }
+}
+
+Status store_campaign_report(ArtifactStore& store, const std::string& name,
+                             const sim::CampaignReport& report) {
+  return store.put(name, encode_campaign_report(report));
+}
+
+Result<sim::CampaignReport> load_campaign_report(ArtifactStore& store,
+                                                 const std::string& name) {
+  auto bytes = store.get_validated(name, ArtifactKind::kCampaignReport);
+  if (!bytes) return bytes.status();
+  auto report = decode_campaign_report(*bytes);
+  if (!report) store.discard_corrupt(name, report.status().message);
+  return report;
+}
+
 
 }  // namespace ced::storage

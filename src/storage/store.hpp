@@ -170,4 +170,28 @@ Status store_manifest(ArtifactStore& store, const std::string& name,
 Result<ManifestArtifact> load_manifest(ArtifactStore& store,
                                        const std::string& name);
 
+/// Campaign artifacts: the finished verdict sheet under `camp-<key>.ced`,
+/// checkpoint shards under `cshard-<key>-NNN.ced`. `key` is the campaign's
+/// content digest (sim::campaign_digest), so resumed and re-run campaigns
+/// with identical result-shaping inputs share checkpoints and a completed
+/// report supersedes its shards (gc() removes them).
+std::string campaign_report_name(const std::string& key);
+std::string campaign_shard_name(const std::string& key, std::uint32_t index);
+
+/// Wires the campaign engine's checkpoint callbacks to a store: load
+/// validates the envelope, decodes, and checks shard identity (corrupt or
+/// mismatched checkpoints are quarantined and reported as misses); save
+/// persists a completed shard atomically.
+sim::CampaignCheckpointHooks make_campaign_hooks(ArtifactStore& store,
+                                                 const std::string& key);
+
+/// Removes every checkpoint shard of a campaign key.
+void drop_campaign_shards(ArtifactStore& store, const std::string& key);
+
+/// Verdict-sheet round-trip (quarantine-on-corruption like the others).
+Status store_campaign_report(ArtifactStore& store, const std::string& name,
+                             const sim::CampaignReport& report);
+Result<sim::CampaignReport> load_campaign_report(ArtifactStore& store,
+                                                 const std::string& name);
+
 }  // namespace ced::storage

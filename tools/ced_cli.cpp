@@ -10,6 +10,10 @@
 //   ced_cli analyze  <machine.kiss>
 //   ced_cli generate --states=N --inputs=N --outputs=N [--seed=N] [--self-loops=F]
 //   ced_cli verify   <machine.kiss> --store=DIR [--latency=N] [--solver=...]
+//   ced_cli campaign <machine.kiss> --store=DIR [--model=stuck|transient|adversarial]
+//                    [--policy=exhaustive|walks] [--persistence=N] [--k=N]
+//                    [--walks=N] [--walk-length=N] [--seed=N] [--horizon=N]
+//                    [--soak] [--json-out=FILE] [--resume] [--max-new-shards=N]
 //   ced_cli store    verify|gc|list --store=DIR
 //   ced_cli store    show <name> --store=DIR
 //   ced_cli help
@@ -41,6 +45,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -52,6 +57,7 @@
 
 #include "benchdata/generator.hpp"
 #include "benchdata/suite.hpp"
+#include "common/parallel.hpp"
 #include "core/area_aware.hpp"
 #include "core/latency.hpp"
 #include "core/run.hpp"
@@ -60,6 +66,7 @@
 #include "fsm/minimize_states.hpp"
 #include "kiss/kiss.hpp"
 #include "obs/export.hpp"
+#include "sim/campaign.hpp"
 #include "storage/store.hpp"
 
 namespace {
@@ -129,6 +136,14 @@ int usage() {
                "circuit as KISS2\n"
                "  ced_cli verify <machine.kiss> --store=DIR [--latency=N] "
                "[--solver=...]\n"
+               "  ced_cli campaign <machine.kiss> --store=DIR "
+               "[--model=stuck|transient|adversarial]\n"
+               "          [--policy=exhaustive|walks] [--persistence=N] "
+               "[--k=N] [--walks=N]\n"
+               "          [--walk-length=N] [--seed=N] [--horizon=N] "
+               "[--threads=N] [--soak]\n"
+               "          [--json-out=FILE] [--resume] [--checkpoint-shards=N] "
+               "[--max-new-shards=N]\n"
                "  ced_cli store verify|gc|list --store=DIR\n"
                "  ced_cli store show <name> --store=DIR\n"
                "  ced_cli help      full flag reference incl. budget table\n");
@@ -198,6 +213,34 @@ int cmd_help() {
       "  --prom-out=FILE                 write Prometheus text exposition\n"
       "  --explain                       print the human span tree +\n"
       "                                  metrics appendix to stdout\n"
+      "\n"
+      "Campaign (fault-injection against the stored scheme):\n"
+      "  ced_cli campaign <m.kiss> --store=DIR runs the full protected\n"
+      "      design (FSM + predictor + comparator) under injected faults and\n"
+      "      classifies every activation episode as detected_in_bound,\n"
+      "      detected_late or silent_escape. Pass the same shape flags\n"
+      "      (--latency/--solver/--encoding/--semantics) as the protect run\n"
+      "      that stored the scheme.\n"
+      "  --model=KIND         stuck      stuck | transient | adversarial\n"
+      "  --policy=KIND        exhaustive exhaustive (stuck only: worst case\n"
+      "                                  over every bounded input path — a\n"
+      "                                  proof) | walks (seeded random walks\n"
+      "                                  from every reachable state)\n"
+      "  --persistence=N      0          cycles a stuck fault stays active\n"
+      "                                  after activation (0 = permanent)\n"
+      "  --k=N                1          adversarial model: max flipped bits\n"
+      "  --walks=N --walk-length=N       walk count per (fault, state) and\n"
+      "                                  walk length (soak: 32 x 512)\n"
+      "  --horizon=N          p+2        escape cutoff in cycles\n"
+      "  --seed=N                        campaign seed (part of the key)\n"
+      "  --soak                          long randomized sweep: walks policy\n"
+      "                                  over all three fault models\n"
+      "  --json-out=FILE      BENCH_campaign.json\n"
+      "  --resume                        reuse checkpointed campaign shards\n"
+      "  For stuck-at faults with persistence 0 or >= p the campaign checks\n"
+      "  the paper's hard guarantee: any late/silent episode exits 1. The\n"
+      "  verdict sheet is stored under camp-<key> and is byte-identical at\n"
+      "  any thread count and across kill/resume.\n"
       "\n"
       "Store subcommands:\n"
       "  ced_cli verify <m.kiss> --store=DIR   re-prove bounded detection\n"
@@ -606,6 +649,256 @@ int cmd_verify(int argc, char** argv) {
   return vr.ok() ? kExitOk : kExitDegraded;
 }
 
+/// Runs one campaign, prints its verdict summary, persists the verdict
+/// sheet, and appends its JSON entry. Returns the worst exit code observed.
+int run_one_campaign(const fsm::FsmCircuit& circuit,
+                     const core::CedHardware& hw,
+                     const std::vector<sim::StuckAtFault>& faults,
+                     const sim::CampaignOptions& copts,
+                     const sim::CampaignShardingOptions& sharding,
+                     storage::ArtifactStore& store, bool resume,
+                     const std::string& label,
+                     std::vector<std::string>& json_entries) {
+  const auto units = sim::campaign_units(circuit, faults, copts);
+  const int num_shards =
+      core::resolve_checkpoint_shards(sharding.num_shards, units.size());
+  const std::string ckey =
+      sim::campaign_digest(circuit, hw, faults, copts, num_shards);
+
+  sim::CampaignCheckpointHooks hooks = storage::make_campaign_hooks(store, ckey);
+  if (!resume) hooks.load = {};  // checkpoint reuse is opt-in, like protect
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::CampaignReport rep =
+      sim::run_campaign(circuit, hw, faults, copts, sharding, hooks);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const auto& e : store.drain_events()) {
+    std::fprintf(stderr, "  [store] %s\n", e.c_str());
+  }
+
+  std::printf("campaign %s/%s: %llu units, %llu activations (key %s)\n",
+              sim::to_string(rep.model), sim::to_string(rep.policy),
+              static_cast<unsigned long long>(rep.num_units),
+              static_cast<unsigned long long>(rep.activations), ckey.c_str());
+  std::printf("  in bound: %llu  late: %llu  silent escapes: %llu  "
+              "benign units: %llu\n",
+              static_cast<unsigned long long>(rep.detected_in_bound),
+              static_cast<unsigned long long>(rep.detected_late),
+              static_cast<unsigned long long>(rep.silent_escape),
+              static_cast<unsigned long long>(rep.benign_units));
+  std::printf("  max latency: %d (bound p=%d, horizon %d)\n", rep.max_latency,
+              rep.latency_bound, rep.horizon);
+  if (rep.truncated) {
+    std::fprintf(stderr, "  truncated: %s\n", rep.truncation_reason.c_str());
+  }
+  if (rep.hard_guarantee()) {
+    std::printf("  guarantee: %s\n",
+                rep.bound_holds() ? "HOLDS" : "VIOLATED");
+    if (!rep.bound_holds()) {
+      // Name the first offending fault so the failure is actionable.
+      for (const sim::FaultVerdict& v : rep.verdicts) {
+        if (v.detected_late > 0 || v.silent_escape > 0) {
+          std::fprintf(stderr,
+                       "  first violating unit: %s (late %llu, silent %llu)\n",
+                       sim::unit_label(rep.model, v.unit).c_str(),
+                       static_cast<unsigned long long>(v.detected_late),
+                       static_cast<unsigned long long>(v.silent_escape));
+          break;
+        }
+      }
+    }
+  } else {
+    const double covered =
+        rep.activations > 0
+            ? 100.0 * static_cast<double>(rep.detected_in_bound) /
+                  static_cast<double>(rep.activations)
+            : 0.0;
+    std::printf("  coverage: %.1f%% of activations within bound "
+                "(diagnostic model)\n",
+                covered);
+  }
+
+  if (!rep.truncated) {
+    storage::store_campaign_report(store, storage::campaign_report_name(ckey),
+                                   rep);
+    storage::drop_campaign_shards(store, ckey);
+  }
+  json_entries.push_back(sim::campaign_report_json(
+      rep, label, wall, resolve_threads(copts.threads)));
+
+  if (rep.hard_guarantee() && !rep.bound_holds()) return kExitDegraded;
+  return rep.truncated ? kExitDegraded : kExitOk;
+}
+
+/// `ced_cli campaign <machine.kiss> --store=DIR`: close the loop on the
+/// paper's claim by injecting faults into the full protected design and
+/// watching the checker fire. Loads the scheme stored by a `protect
+/// --store` run (same shape flags), builds the Fig. 3 hardware, and runs
+/// the fault-injection campaign; for §2-class stuck-at faults the bound is
+/// asserted (violations exit 1), for flip models coverage is measured.
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string store_dir = arg_value(argc, argv, "--store", "");
+  if (store_dir.empty()) {
+    throw InvalidInputError("campaign requires --store=DIR");
+  }
+  fsm::Fsm f = load_machine(argv[2]);
+  if (has_flag(argc, argv, "--minimize-states")) {
+    f = fsm::merge_compatible_states(f).machine;
+  }
+
+  // Shape flags: must match the protect run that stored the scheme (they
+  // are part of the scheme's cache key).
+  const int latency =
+      std::atoi(arg_value(argc, argv, "--latency", "2").c_str());
+  const std::string solver = arg_value(argc, argv, "--solver", "lp");
+  const core::SolverKind solver_kind =
+      solver == "greedy"  ? core::SolverKind::kGreedy
+      : solver == "exact" ? core::SolverKind::kExact
+                          : core::SolverKind::kLpRounding;
+  const std::string enc = arg_value(argc, argv, "--encoding", "binary");
+  const fsm::EncodingKind encoding =
+      enc == "gray"     ? fsm::EncodingKind::kGray
+      : enc == "onehot" ? fsm::EncodingKind::kOneHot
+      : enc == "spread" ? fsm::EncodingKind::kSpread
+                        : fsm::EncodingKind::kBinary;
+
+  const std::string metrics_out = arg_value(argc, argv, "--metrics-out", "");
+  const std::string trace_out = arg_value(argc, argv, "--trace-out", "");
+  const bool observing = !metrics_out.empty() || !trace_out.empty();
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const obs::Sinks sinks =
+      observing ? obs::Sinks{&tracer, &metrics, 0} : obs::Sinks{};
+
+  const fsm::FsmCircuit circuit = fsm::synthesize_fsm(f, encoding, {});
+  const auto faults = sim::enumerate_stuck_at(circuit.netlist);
+
+  core::ExtractOptions ex;
+  ex.latency = latency;
+  if (arg_value(argc, argv, "--semantics", "impl") == std::string("machine")) {
+    ex.semantics = core::DiffSemantics::kMachineLevel;
+  }
+  const int scheme_shards = core::resolve_checkpoint_shards(
+      std::atoi(arg_value(argc, argv, "--checkpoint-shards", "0").c_str()),
+      faults.size());
+  const std::string key =
+      core::extraction_digest(circuit, faults, ex, scheme_shards);
+  const std::string name =
+      storage::scheme_name(key, latency, solver_tag(solver_kind));
+
+  storage::ArtifactStore store(store_dir);
+  store.set_sinks(sinks);
+  auto scheme = storage::load_scheme(store, name);
+  for (const auto& e : store.drain_events()) {
+    std::fprintf(stderr, "  [store] %s\n", e.c_str());
+  }
+  if (!scheme) {
+    throw InvalidInputError(
+        "no stored scheme " + name + " in " + store_dir + " (" +
+        scheme.status().message +
+        "); run `ced_cli protect <machine> --store=" + store_dir +
+        "` with the same shape flags first");
+  }
+  std::printf("scheme %s: p=%d, q=%zu parity trees\n", name.c_str(),
+              scheme->latency, scheme->parities.size());
+  const core::CedHardware hw =
+      core::synthesize_ced(circuit, scheme->parities, {});
+
+  const bool soak = has_flag(argc, argv, "--soak");
+  sim::CampaignOptions base;
+  base.latency_bound = scheme->latency;
+  base.horizon = std::atoi(arg_value(argc, argv, "--horizon", "0").c_str());
+  base.persistence =
+      std::atoi(arg_value(argc, argv, "--persistence", "0").c_str());
+  base.flip_bits = std::atoi(arg_value(argc, argv, "--k", "1").c_str());
+  base.walks =
+      std::atoi(arg_value(argc, argv, "--walks", soak ? "32" : "8").c_str());
+  base.walk_length = std::atoi(
+      arg_value(argc, argv, "--walk-length", soak ? "512" : "96").c_str());
+  base.seed = static_cast<std::uint64_t>(std::strtoull(
+      arg_value(argc, argv, "--seed", "212250478").c_str(), nullptr, 0));
+  base.threads = std::atoi(arg_value(argc, argv, "--threads", "0").c_str());
+  core::RunBudget budget = budget_from_args(argc, argv);
+  budget.interrupt = &g_interrupted;
+  base.deadline = core::Deadline::from(budget);
+  base.obs = sinks;
+
+  sim::CampaignShardingOptions sharding;
+  sharding.num_shards =
+      std::atoi(arg_value(argc, argv, "--checkpoint-shards", "0").c_str());
+  sharding.max_new_shards =
+      std::atoi(arg_value(argc, argv, "--max-new-shards", "0").c_str());
+  const bool resume = has_flag(argc, argv, "--resume");
+
+  // Which (model, policy) pairs run: one, or the full soak sweep.
+  std::vector<sim::CampaignOptions> runs;
+  if (soak) {
+    for (const sim::FaultModel m :
+         {sim::FaultModel::kStuckAt, sim::FaultModel::kTransientFlip,
+          sim::FaultModel::kAdversarialFlip}) {
+      sim::CampaignOptions o = base;
+      o.model = m;
+      o.policy = sim::CampaignPolicy::kRandomWalks;
+      runs.push_back(o);
+    }
+  } else {
+    const std::string model = arg_value(argc, argv, "--model", "stuck");
+    const std::string policy = arg_value(
+        argc, argv, "--policy", model == "stuck" ? "exhaustive" : "walks");
+    sim::CampaignOptions o = base;
+    o.model = model == "transient"     ? sim::FaultModel::kTransientFlip
+              : model == "adversarial" ? sim::FaultModel::kAdversarialFlip
+                                       : sim::FaultModel::kStuckAt;
+    o.policy = policy == "walks" ? sim::CampaignPolicy::kRandomWalks
+                                 : sim::CampaignPolicy::kExhaustive;
+    runs.push_back(o);
+  }
+
+  ScopedSigint sigint_guard;
+  std::vector<std::string> json_entries;
+  int exit_code = kExitOk;
+  try {
+    for (const sim::CampaignOptions& copts : runs) {
+      exit_code = std::max(
+          exit_code, run_one_campaign(circuit, hw, faults, copts, sharding,
+                                      store, resume, argv[2], json_entries));
+    }
+  } catch (const std::invalid_argument& e) {
+    throw InvalidInputError(e.what());
+  }
+
+  const std::string json_out =
+      arg_value(argc, argv, "--json-out", "BENCH_campaign.json");
+  if (!json_out.empty() && json_out != "-") {
+    std::string doc = "{\"schema\":\"ced-campaign-v1\",\"campaigns\":[";
+    for (std::size_t i = 0; i < json_entries.size(); ++i) {
+      if (i != 0) doc += ",";
+      doc += json_entries[i];
+    }
+    doc += "]}\n";
+    write_text_file(json_out, doc);
+    std::printf("wrote %s (%zu campaign%s)\n", json_out.c_str(),
+                json_entries.size(), json_entries.size() == 1 ? "" : "s");
+  }
+  if (!metrics_out.empty()) {
+    write_text_file(metrics_out, obs::metrics_json(metrics.snapshot()));
+  }
+  if (!trace_out.empty()) {
+    write_text_file(trace_out,
+                    obs::trace_json(tracer.snapshot(), tracer.dropped()));
+  }
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "interrupted: campaign stopped at the next unit boundary; "
+                 "completed shards are durable — rerun with --resume\n");
+    return kExitInternal;
+  }
+  return exit_code;
+}
+
 /// `ced_cli store verify|gc --store=DIR`: maintenance passes over the
 /// artifact store itself.
 int cmd_store(int argc, char** argv) {
@@ -722,6 +1015,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "protect") == 0) return cmd_protect(argc, argv);
     if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
     if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
+    if (std::strcmp(argv[1], "campaign") == 0) return cmd_campaign(argc, argv);
     if (std::strcmp(argv[1], "store") == 0) return cmd_store(argc, argv);
     if (std::strcmp(argv[1], "help") == 0 ||
         std::strcmp(argv[1], "--help") == 0) {

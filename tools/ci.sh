@@ -112,6 +112,49 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "SIGTERM drain exited nonzero"; exit 1; }
 serve_pid=""
 
+echo "== campaign smoke: empirical bounded-latency gate =="
+# Protect a small Table-1 circuit, then *prove the bound empirically*: the
+# exhaustive campaign drives every persistent stuck-at fault over every
+# bounded input path and must classify zero episodes detected_late or
+# silent_escape. The verdict artifact must be byte-identical at 1 vs 4
+# threads, and a campaign interrupted by the deterministic shard valve
+# (the reproducible analogue of the kill -9 chaos_serve.sh throws at the
+# daemon) must resume from its checkpoints to the same bytes.
+./build/tools/ced_cli generate --suite=dk16 > "$obs_tmp/dk16.kiss"
+for t in 1 4; do
+  ./build/tools/ced_cli protect "$obs_tmp/dk16.kiss" --latency=2 \
+      --store="$obs_tmp/camp-$t" > /dev/null
+  ./build/tools/ced_cli campaign "$obs_tmp/dk16.kiss" --latency=2 \
+      --store="$obs_tmp/camp-$t" --threads="$t" \
+      --json-out="$obs_tmp/camp-$t.json" > "$obs_tmp/camp-$t.out"
+done
+python3 - "$obs_tmp/camp-1.json" <<'PYEOF'
+import json, sys
+c = json.load(open(sys.argv[1]))["campaigns"][0]
+assert c["model"] == "stuck-at" and c["policy"] == "exhaustive", c
+assert c["hard_guarantee"] and not c["truncated"], c
+assert c["detected_late"] == 0, "detected_late episodes: %d" % c["detected_late"]
+assert c["silent_escape"] == 0, "silent escapes: %d" % c["silent_escape"]
+assert c["activations"] > 0 and c["max_latency"] <= c["latency_bound"], c
+print("campaign gate: %d units, %d activations, max latency %d <= p=%d"
+      % (c["units_judged"], c["activations"], c["max_latency"],
+         c["latency_bound"]))
+PYEOF
+cmp "$obs_tmp"/camp-1/camp-*.ced "$obs_tmp"/camp-4/camp-*.ced \
+  || { echo "campaign verdicts differ across thread counts"; exit 1; }
+./build/tools/ced_cli protect "$obs_tmp/dk16.kiss" --latency=2 \
+    --store="$obs_tmp/camp-r" > /dev/null
+if ./build/tools/ced_cli campaign "$obs_tmp/dk16.kiss" --latency=2 \
+    --store="$obs_tmp/camp-r" --max-new-shards=2 \
+    --json-out="$obs_tmp/camp-trunc.json" > "$obs_tmp/camp-trunc.out"; then
+  echo "interrupted campaign did not report truncation"; exit 1
+fi
+./build/tools/ced_cli campaign "$obs_tmp/dk16.kiss" --latency=2 \
+    --store="$obs_tmp/camp-r" --resume \
+    --json-out="$obs_tmp/camp-resume.json" > "$obs_tmp/camp-resume.out"
+cmp "$obs_tmp"/camp-r/camp-*.ced "$obs_tmp"/camp-1/camp-*.ced \
+  || { echo "resumed campaign verdicts diverge from the clean run"; exit 1; }
+
 echo "== deprecation gate: in-tree code uses only the new API =="
 # The old core::run_pipeline / core::run_latency_sweep signatures are
 # [[deprecated]] shims. Recompile everything with the warning promoted to
@@ -134,10 +177,23 @@ echo "== sanitizers: TSan (CED_THREADS=4) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 if [[ "$fast" == 1 ]]; then
-  ctest --preset tsan -j "$jobs" -R 'Parallel|Resilience|Pipeline|Resume|Serve'
+  ctest --preset tsan -j "$jobs" \
+      -R 'Parallel|Resilience|Pipeline|Resume|Serve|Campaign'
 else
   ctest --preset tsan -j "$jobs"
 fi
+
+echo "== campaign under TSan: 4-thread shard fan-out is race-free =="
+# Rerun the campaign gate's circuit against the TSan-instrumented CLI so
+# the parallel_for shard fan-out, checkpoint saves and metric shards are
+# exercised as a data-race check, not just for correctness.
+./build-tsan/tools/ced_cli protect "$obs_tmp/dk16.kiss" --latency=2 \
+    --store="$obs_tmp/camp-tsan" > /dev/null
+./build-tsan/tools/ced_cli campaign "$obs_tmp/dk16.kiss" --latency=2 \
+    --store="$obs_tmp/camp-tsan" --threads=4 \
+    --json-out="$obs_tmp/camp-tsan.json" > "$obs_tmp/camp-tsan.out"
+cmp "$obs_tmp"/camp-tsan/camp-*.ced "$obs_tmp"/camp-1/camp-*.ced \
+  || { echo "TSan campaign verdicts diverge from the plain build"; exit 1; }
 
 echo "== chaos: crash/overload/drain harness against the TSan daemon =="
 # Run the full chaos suite (kill -9 + resume, saturation, drain, wire
